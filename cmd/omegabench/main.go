@@ -1,0 +1,73 @@
+// Command omegabench regenerates every figure/table of the reproduction
+// (see DESIGN.md's experiment index) and prints the measurements and
+// claim verdicts.
+//
+// Usage:
+//
+//	omegabench [-quick] [-seeds N] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"omegasm/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	quick := flag.Bool("quick", false, "smaller horizons and seed counts")
+	seeds := flag.Int("seeds", 0, "seeded repetitions per data point (0: default)")
+	out := flag.String("out", "", "also write the report to this file")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := harness.Config{Quick: *quick, Seeds: *seeds}
+	failed := 0
+	for _, e := range harness.All() {
+		fmt.Fprintf(w, "\n================================================================\n")
+		fmt.Fprintf(w, "%s — %s\n", e.ID, e.Title)
+		fmt.Fprintf(w, "paper artifact: %s\n", e.Paper)
+		fmt.Fprintf(w, "================================================================\n")
+		outc, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(w, "ERROR: %v\n", err)
+			failed++
+			continue
+		}
+		for _, tbl := range outc.Tables {
+			fmt.Fprintf(w, "\n%s", tbl.Render())
+		}
+		if outc.Report != nil && len(outc.Report.Verdicts) > 0 {
+			fmt.Fprintf(w, "\nverdicts:\n%s", outc.Report)
+			if !outc.Report.AllOK() {
+				failed++
+			}
+		}
+		for _, n := range outc.Notes {
+			fmt.Fprintf(w, "note: %s\n", n)
+		}
+	}
+	fmt.Fprintf(w, "\n")
+	if failed > 0 {
+		fmt.Fprintf(w, "omegabench: %d experiment(s) with failures\n", failed)
+		return 1
+	}
+	fmt.Fprintf(w, "omegabench: all experiments passed\n")
+	return 0
+}

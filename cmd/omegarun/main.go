@@ -1,0 +1,95 @@
+// Command omegarun runs a single experiment or a single ad-hoc simulated
+// run and prints the outcome.
+//
+// Usage:
+//
+//	omegarun -exp F2 [-quick]          # one experiment from the index
+//	omegarun -algo algo1 -n 8 -seed 7  # one ad-hoc run with full detail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omegasm/internal/harness"
+	"omegasm/internal/trace"
+	"omegasm/internal/vclock"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	exp := flag.String("exp", "", "experiment id (F1..F5, T1..T6); empty for an ad-hoc run")
+	quick := flag.Bool("quick", false, "smaller horizons and seed counts")
+	algo := flag.String("algo", "algo1", "algorithm: algo1|algo2|nwnr|timerfree|baseline|strawman")
+	n := flag.Int("n", 5, "number of processes")
+	seed := flag.Int64("seed", 1, "run seed")
+	horizon := flag.Int64("horizon", 400_000, "virtual-time horizon (ticks)")
+	crashes := flag.Int("crashes", 0, "number of processes to crash (never process 0)")
+	census := flag.Bool("census", false, "print the full end-of-run register census")
+	flag.Parse()
+
+	if *exp != "" {
+		e, err := harness.ByID(*exp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omegarun: %v\n", err)
+			return 1
+		}
+		out, err := e.Run(harness.Config{Quick: *quick})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omegarun: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s — %s\npaper artifact: %s\n", e.ID, e.Title, e.Paper)
+		for _, tbl := range out.Tables {
+			fmt.Printf("\n%s", tbl.Render())
+		}
+		if out.Report != nil {
+			fmt.Printf("\nverdicts:\n%s", out.Report)
+			if !out.Report.AllOK() {
+				return 1
+			}
+		}
+		return 0
+	}
+
+	p := harness.Preset{
+		Algo:    harness.Algo(*algo),
+		N:       *n,
+		Seed:    *seed,
+		Horizon: vclock.Time(*horizon),
+		AWBProc: 0,
+		Tau1:    vclock.Time(*horizon) / 8,
+		Delta:   8,
+	}
+	if *crashes > 0 {
+		p.Crash = map[int]vclock.Time{}
+		for c := 0; c < *crashes && c+1 < *n; c++ {
+			p.Crash[c+1] = vclock.Time(*horizon) / 3
+		}
+	}
+	out, err := harness.Execute(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omegarun: %v\n", err)
+		return 1
+	}
+	fmt.Printf("algo=%s n=%d seed=%d horizon=%d crashes=%d\n", *algo, *n, *seed, *horizon, *crashes)
+	fmt.Printf("stabilized=%v leader=%d stabTime=%d end=%d\n",
+		out.Stable, out.Leader, out.StabTime, out.Res.End)
+	fmt.Printf("leader changes in last quarter: %d\n",
+		trace.LeaderChangesAfter(out.Res.Samples, out.Res.End*3/4))
+	if out.StableBeforeMid() {
+		suffix := out.Suffix()
+		fmt.Printf("suffix writers: %v\n", suffix.Writers())
+		fmt.Printf("suffix registers written: %v\n", suffix.WrittenRegisters())
+	}
+	fmt.Printf("shared-memory footprint: %d bits across %d registers\n",
+		out.End.TotalBits(), len(out.End.Regs))
+	if *census {
+		fmt.Printf("\ncensus:\n%s", out.End)
+	}
+	return 0
+}

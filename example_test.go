@@ -1,0 +1,58 @@
+package omegasm_test
+
+import (
+	"fmt"
+	"time"
+
+	"omegasm"
+)
+
+// ExampleCluster shows the basic lifecycle: start a cluster, wait for the
+// oracle outputs to converge, and shut down.
+func ExampleCluster() {
+	c, err := omegasm.New(omegasm.Config{N: 3})
+	if err != nil {
+		fmt.Println("config error:", err)
+		return
+	}
+	if err := c.Start(); err != nil {
+		fmt.Println("start error:", err)
+		return
+	}
+	defer c.Stop()
+
+	if leader, ok := c.WaitForAgreement(10 * time.Second); ok {
+		fmt.Println("a leader was elected:", leader >= 0 && leader < c.N())
+	}
+	// Output:
+	// a leader was elected: true
+}
+
+// ExampleCluster_crash demonstrates crash-stop failover: the survivors'
+// oracle converges on a new correct leader.
+func ExampleCluster_crash() {
+	c, err := omegasm.New(omegasm.Config{N: 4, Algorithm: omegasm.Bounded})
+	if err != nil {
+		fmt.Println("config error:", err)
+		return
+	}
+	if err := c.Start(); err != nil {
+		fmt.Println("start error:", err)
+		return
+	}
+	defer c.Stop()
+
+	leader, ok := c.WaitForAgreement(10 * time.Second)
+	if !ok {
+		fmt.Println("no agreement")
+		return
+	}
+	if err := c.Crash(leader); err != nil {
+		fmt.Println("crash error:", err)
+		return
+	}
+	next, ok := c.WaitForAgreement(30 * time.Second)
+	fmt.Println("re-elected:", ok && next != leader)
+	// Output:
+	// re-elected: true
+}

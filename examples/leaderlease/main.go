@@ -1,0 +1,99 @@
+// Leaderlease: use the Omega oracle to coordinate a pool of workers. Only
+// the process the oracle names leader drains the job queue; when the
+// leader crashes, the survivors' oracle converges on a new one and work
+// resumes — the classic "primary election" pattern the paper's
+// introduction motivates (it is the liveness core of Paxos-style
+// replication).
+//
+// Note what Omega does and does not give you: during the anarchy period
+// two workers may briefly both believe they lead (the oracle is only
+// *eventually* accurate), so the jobs here are idempotent counters. For
+// mutual exclusion you would layer consensus on top (see the sanpaxos
+// example).
+//
+//	go run ./examples/leaderlease
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omegasm"
+)
+
+func main() {
+	const n = 4
+	c, err := omegasm.New(omegasm.Config{N: n, Algorithm: omegasm.Bounded})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	var (
+		jobsDone [n]atomic.Uint64
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	// One worker per process: it does a unit of work only while its own
+	// oracle names it leader.
+	for w := 0; w < n; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ticker := time.NewTicker(5 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					if c.Crashed(w) {
+						return
+					}
+					if l, err := c.Leader(w); err == nil && l == w {
+						jobsDone[w].Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	leader, ok := c.WaitForAgreement(5 * time.Second)
+	if !ok {
+		log.Fatal("no agreement within 5s")
+	}
+	fmt.Printf("leader %d is working...\n", leader)
+	time.Sleep(750 * time.Millisecond)
+
+	fmt.Printf("crashing leader %d mid-work...\n", leader)
+	if err := c.Crash(leader); err != nil {
+		log.Fatal(err)
+	}
+	next, ok := c.WaitForAgreement(10 * time.Second)
+	if !ok {
+		log.Fatal("no failover within 10s")
+	}
+	fmt.Printf("failover complete: leader %d resumed the work\n", next)
+	time.Sleep(750 * time.Millisecond)
+
+	close(stop)
+	wg.Wait()
+	fmt.Println("jobs processed per worker:")
+	for w := 0; w < n; w++ {
+		note := ""
+		if w == leader {
+			note = "  (first leader, crashed)"
+		}
+		if w == next {
+			note = "  (current leader)"
+		}
+		fmt.Printf("  worker %d: %5d%s\n", w, jobsDone[w].Load(), note)
+	}
+}

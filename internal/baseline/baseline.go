@@ -1,0 +1,171 @@
+// Package baseline reconstructs the paper's only prior-work comparator:
+// the leader election protocol for *eventually synchronous* shared memory
+// systems of Guerraoui and Raynal (SEUS 2006), the paper's reference [13].
+//
+// That protocol's behavioral assumption is strictly stronger than AWB
+// (the paper, Related work): after some time there are a lower AND an
+// upper bound on the time for ANY process to execute a step. Under that
+// assumption a simple design works: every process that considers itself a
+// candidate keeps incrementing a heartbeat register forever, every process
+// suspects silent candidates with a timeout that grows on each suspicion,
+// and the leader is the least-suspected candidate.
+//
+// No source for [13] is public; this is a faithful reconstruction from its
+// stated model, built to expose the two costs the paper's Algorithm 1
+// eliminates:
+//
+//   - every correct process writes shared memory forever (its heartbeat),
+//     versus Algorithm 1's single eventual writer;
+//   - correctness needs eventual synchrony of every process, versus AWB's
+//     single timely process: under an AWB-only run that keeps stalling
+//     some processes with unbounded bursts, the baseline keeps suspecting
+//     them forever and its suspicion registers grow without bound, while
+//     Algorithm 1's demoted processes go silent.
+package baseline
+
+import (
+	"omegasm/internal/shmem"
+	"omegasm/internal/vclock"
+)
+
+// Register class names of the baseline.
+const (
+	ClassHeartbeat = "HEARTBEAT"
+	ClassBSusp     = "BSUSP"
+)
+
+// Shared is the baseline's shared memory: a heartbeat register per process
+// plus the usual suspicion matrix.
+type Shared struct {
+	N         int
+	Heartbeat []shmem.Reg   // [i] owned by i; incremented forever
+	Susp      [][]shmem.Reg // [j][k] owned by j
+}
+
+// NewShared allocates the baseline's registers.
+func NewShared(mem shmem.Mem, n int) *Shared {
+	s := &Shared{
+		N:         n,
+		Heartbeat: make([]shmem.Reg, n),
+		Susp:      make([][]shmem.Reg, n),
+	}
+	for j := 0; j < n; j++ {
+		s.Heartbeat[j] = mem.Word(j, ClassHeartbeat, j)
+		s.Susp[j] = make([]shmem.Reg, n)
+		for k := 0; k < n; k++ {
+			s.Susp[j][k] = mem.Word(j, ClassBSusp, j, k)
+		}
+	}
+	return s
+}
+
+// Proc is one process of the baseline protocol.
+type Proc struct {
+	id int
+	n  int
+	sh *Shared
+
+	alive  []bool // processes currently deemed alive
+	last   []uint64
+	mySusp []uint64
+	myHB   uint64
+
+	cachedLeader int
+}
+
+// NewProc creates process id of the baseline.
+func NewProc(sh *Shared, id int) *Proc {
+	p := &Proc{
+		id:           id,
+		n:            sh.N,
+		sh:           sh,
+		alive:        make([]bool, sh.N),
+		last:         make([]uint64, sh.N),
+		mySusp:       make([]uint64, sh.N),
+		cachedLeader: id,
+	}
+	for k := range p.alive {
+		p.alive[k] = true
+	}
+	return p
+}
+
+// ID returns the process identity.
+func (p *Proc) ID() int { return p.id }
+
+// Leader returns the current leader estimate: the least-suspected alive
+// process (lexicographic tie-break on id).
+func (p *Proc) Leader() int { return p.cachedLeader }
+
+func (p *Proc) computeLeader() int {
+	best := -1
+	var bestSusp uint64
+	for k := 0; k < p.n; k++ {
+		if !p.alive[k] {
+			continue
+		}
+		var s uint64
+		for j := 0; j < p.n; j++ {
+			if j == p.id {
+				s += p.mySusp[k]
+			} else {
+				s += p.sh.Susp[j][k].Read(p.id)
+			}
+		}
+		if best == -1 || s < bestSusp || (s == bestSusp && k < best) {
+			best, bestSusp = k, s
+		}
+	}
+	if best == -1 {
+		best = p.id
+	}
+	p.cachedLeader = best
+	return best
+}
+
+// Step is the baseline's main loop body: unconditionally advance the
+// heartbeat — every process writes shared memory forever, which is
+// exactly the cost Theorem 3 shows Algorithm 1 avoids.
+func (p *Proc) Step(vclock.Time) {
+	p.myHB++
+	p.sh.Heartbeat[p.id].Write(p.id, p.myHB)
+	p.computeLeader()
+}
+
+// OnTimer checks heartbeats: a process whose heartbeat did not move since
+// the last check is suspected and dropped until it moves again.
+func (p *Proc) OnTimer(vclock.Time) uint64 {
+	for k := 0; k < p.n; k++ {
+		if k == p.id {
+			continue
+		}
+		hb := p.sh.Heartbeat[k].Read(p.id)
+		if hb != p.last[k] {
+			p.alive[k] = true
+			p.last[k] = hb
+		} else if p.alive[k] {
+			p.mySusp[k]++
+			p.sh.Susp[p.id][k].Write(p.id, p.mySusp[k])
+			p.alive[k] = false
+		}
+	}
+	p.computeLeader()
+	var m uint64
+	for _, s := range p.mySusp {
+		if s > m {
+			m = s
+		}
+	}
+	return m + 1
+}
+
+// Build allocates the baseline's shared memory in mem and returns the n
+// process state machines.
+func Build(mem shmem.Mem, n int) []*Proc {
+	sh := NewShared(mem, n)
+	procs := make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = NewProc(sh, i)
+	}
+	return procs
+}

@@ -1,0 +1,223 @@
+// Package consensus implements Omega-based consensus over 1WnR atomic
+// registers, closing the loop on the paper's motivation: the eventual
+// leader oracle is the weakest failure detector for solving consensus in
+// crash-prone asynchronous shared-memory systems (paper references [19],
+// [6]), and the paper's own Section 1 points at Paxos-style protocols
+// ([9] Gafni & Lamport's Disk Paxos, [16] Lamport's Paxos) as the
+// canonical consumers.
+//
+// The protocol here is single-memory Disk Paxos: each process owns one
+// "block" of registers it alone writes (1WnR — the paper's model),
+// consisting of a ballot-promise register MBAL[i] and a packed
+// (bal, value) register BALINP[i]. Safety is that of Paxos and holds under
+// full asynchrony and any number of crashes below n; liveness needs a
+// single eventual proposer, which the Omega oracle provides.
+//
+// Splitting the Disk Paxos block into two registers is safe because:
+// phase 1 writes only MBAL; phase 2 writes only BALINP (mbal is already
+// the phase's ballot) and then re-checks every MBAL. For two competing
+// ballots b < b', either b' phase-1 read sees b's BALINP write (and adopts
+// its value), or b's phase-2 read sees b' in MBAL (and aborts) — the
+// standard Paxos intersection argument with single-register granularity.
+//
+// The state machines take micro-steps (one phase action per Step call) so
+// they run under the deterministic simulator and on live goroutines alike.
+package consensus
+
+import (
+	"fmt"
+
+	"omegasm/internal/shmem"
+	"omegasm/internal/vclock"
+)
+
+// Register class names.
+const (
+	ClassMBal   = "MBAL"
+	ClassBalInp = "BALINP"
+	ClassDec    = "DEC"
+)
+
+// NoValue is returned by Decided when no decision is known yet.
+const NoValue = uint32(0xFFFFFFFF)
+
+// Instance is the shared memory of one consensus instance.
+type Instance struct {
+	N      int
+	MBal   []shmem.Reg // [i] owned by i: highest ballot i entered
+	BalInp []shmem.Reg // [i] owned by i: (bal<<32 | value) i last accepted
+	Dec    []shmem.Reg // [i] owned by i: (1<<32 | value) once i decided
+}
+
+// NewInstance allocates the registers of one consensus instance. tag
+// distinguishes instances sharing one memory (e.g. log slots).
+func NewInstance(mem shmem.Mem, n int, tag int) *Instance {
+	inst := &Instance{
+		N:      n,
+		MBal:   make([]shmem.Reg, n),
+		BalInp: make([]shmem.Reg, n),
+		Dec:    make([]shmem.Reg, n),
+	}
+	for i := 0; i < n; i++ {
+		inst.MBal[i] = mem.Word(i, ClassMBal, tag, i)
+		inst.BalInp[i] = mem.Word(i, ClassBalInp, tag, i)
+		inst.Dec[i] = mem.Word(i, ClassDec, tag, i)
+	}
+	return inst
+}
+
+func packBalInp(bal uint32, v uint32) uint64 { return uint64(bal)<<32 | uint64(v) }
+func unpackBalInp(w uint64) (bal uint32, v uint32) {
+	return uint32(w >> 32), uint32(w)
+}
+func packDec(v uint32) uint64 { return 1<<32 | uint64(v) }
+func unpackDec(w uint64) (v uint32, ok bool) {
+	return uint32(w), w>>32 != 0
+}
+
+type phase int
+
+const (
+	phaseFollow phase = iota + 1 // not proposing: poll DEC
+	phase1                       // wrote MBAL, about to scan
+	phase2                       // wrote BALINP, about to verify
+	phaseDone
+)
+
+// Proposer is one process's state machine for one consensus instance.
+//
+// Omega injects liveness: the proposer only advances ballots while the
+// oracle names it leader; everyone else follows by polling the decision
+// registers. Safety never depends on the oracle's output.
+type Proposer struct {
+	inst  *Instance
+	id    int
+	omega func() int // the leader oracle (task T1 of the core algorithms)
+
+	input   uint32
+	phase   phase
+	ballot  uint32
+	chosen  uint32 // value carried into phase 2
+	decided bool
+	value   uint32
+	rounds  int // ballot attempts, for the experiment's cost metric
+}
+
+// NewProposer creates the state machine of process id proposing input on
+// inst, with omega as its leader oracle.
+func NewProposer(inst *Instance, id int, input uint32, omega func() int) (*Proposer, error) {
+	if input == NoValue {
+		return nil, fmt.Errorf("consensus: input %#x is the reserved NoValue sentinel", input)
+	}
+	if omega == nil {
+		return nil, fmt.Errorf("consensus: nil omega oracle")
+	}
+	return &Proposer{
+		inst:  inst,
+		id:    id,
+		omega: omega,
+		input: input,
+		phase: phaseFollow,
+	}, nil
+}
+
+// Decided returns the decided value, or (NoValue, false).
+func (p *Proposer) Decided() (uint32, bool) {
+	if !p.decided {
+		return NoValue, false
+	}
+	return p.value, true
+}
+
+// Rounds returns the number of ballots this proposer started.
+func (p *Proposer) Rounds() int { return p.rounds }
+
+// Step advances the state machine by one phase action.
+func (p *Proposer) Step(vclock.Time) {
+	if p.decided {
+		return
+	}
+	// Adopt any published decision first: followers terminate this way,
+	// and a demoted proposer abandons its ballot.
+	for i := 0; i < p.inst.N; i++ {
+		if v, ok := unpackDec(p.inst.Dec[i].Read(p.id)); ok {
+			p.decide(v)
+			return
+		}
+	}
+	switch p.phase {
+	case phaseFollow:
+		if p.omega() != p.id {
+			return
+		}
+		p.startBallot(p.maxSeenBallot())
+	case phase1:
+		if p.omega() != p.id {
+			p.phase = phaseFollow
+			return
+		}
+		maxM, maxBal, maxVal := p.scan()
+		if maxM > p.ballot {
+			p.startBallot(maxM)
+			return
+		}
+		p.chosen = p.input
+		if maxBal > 0 {
+			p.chosen = maxVal
+		}
+		p.inst.BalInp[p.id].Write(p.id, packBalInp(p.ballot, p.chosen))
+		p.phase = phase2
+	case phase2:
+		if p.omega() != p.id {
+			p.phase = phaseFollow
+			return
+		}
+		maxM, _, _ := p.scan()
+		if maxM > p.ballot {
+			p.startBallot(maxM)
+			return
+		}
+		p.inst.Dec[p.id].Write(p.id, packDec(p.chosen))
+		p.decide(p.chosen)
+	}
+}
+
+func (p *Proposer) decide(v uint32) {
+	p.decided = true
+	p.value = v
+	p.phase = phaseDone
+	// Republish so laggards can learn from any register row.
+	p.inst.Dec[p.id].Write(p.id, packDec(v))
+}
+
+// startBallot picks the next ballot above floor that is congruent to this
+// process (ballot mod n == id, shifted by one so ballot 0 means "none").
+func (p *Proposer) startBallot(floor uint32) {
+	n := uint32(p.inst.N)
+	b := (floor/n + 1) * n // smallest multiple of n strictly above floor
+	p.ballot = b + uint32(p.id) + 1
+	p.rounds++
+	p.inst.MBal[p.id].Write(p.id, uint64(p.ballot))
+	p.phase = phase1
+}
+
+// scan reads every process's block and returns the highest promise ballot,
+// plus the (bal, value) of the highest accepted ballot.
+func (p *Proposer) scan() (maxMBal uint32, maxBal uint32, maxVal uint32) {
+	for i := 0; i < p.inst.N; i++ {
+		m := uint32(p.inst.MBal[i].Read(p.id))
+		if m > maxMBal {
+			maxMBal = m
+		}
+		bal, val := unpackBalInp(p.inst.BalInp[i].Read(p.id))
+		if bal > maxBal {
+			maxBal, maxVal = bal, val
+		}
+	}
+	return maxMBal, maxBal, maxVal
+}
+
+func (p *Proposer) maxSeenBallot() uint32 {
+	m, _, _ := p.scan()
+	return m
+}

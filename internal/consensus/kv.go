@@ -1,0 +1,107 @@
+package consensus
+
+import (
+	"fmt"
+	"sync"
+
+	"omegasm/internal/vclock"
+)
+
+// KV is a replicated key-value store: the canonical state machine driven
+// by the replicated log (the full Paxos-style stack the paper's
+// introduction motivates, from the Omega oracle at the bottom to a
+// linearizable-ish store at the top).
+//
+// Commands are Set(key, value) operations over 16-bit keys and values,
+// encoded into the log's 32-bit command space. Every replica applies the
+// committed prefix in order, so all replicas' states converge to the same
+// map; reads are served from the local applied state (and are therefore
+// only as fresh as the replica's commit progress — sequential
+// consistency, not linearizability; a linearizable read would go through
+// the log).
+type KV struct {
+	mu      sync.Mutex
+	replica *Replica
+	applied int
+	state   map[uint16]uint16
+}
+
+// EncodeSet packs a Set command. Value 0xFFFF is reserved (it would
+// collide with the log's NoValue sentinel when paired with key 0xFFFF);
+// Set rejects it.
+func EncodeSet(key, val uint16) uint32 {
+	return uint32(key)<<16 | uint32(val)
+}
+
+// DecodeSet unpacks a Set command.
+func DecodeSet(cmd uint32) (key, val uint16) {
+	return uint16(cmd >> 16), uint16(cmd)
+}
+
+// NewKV builds a store replica over the given log replica.
+func NewKV(replica *Replica) (*KV, error) {
+	if replica == nil {
+		return nil, fmt.Errorf("consensus: nil replica")
+	}
+	return &KV{
+		replica: replica,
+		state:   make(map[uint16]uint16),
+	}, nil
+}
+
+// Set queues a write for replication. It is applied once committed.
+func (kv *KV) Set(key, val uint16) error {
+	if EncodeSet(key, val) == NoValue {
+		return fmt.Errorf("consensus: key/value pair (0x%04x, 0x%04x) is reserved", key, val)
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.replica.Submit(EncodeSet(key, val))
+	return nil
+}
+
+// Get returns the value of key in the applied state.
+func (kv *KV) Get(key uint16) (uint16, bool) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	v, ok := kv.state[key]
+	return v, ok
+}
+
+// Len returns the number of keys in the applied state.
+func (kv *KV) Len() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return len(kv.state)
+}
+
+// Applied returns how many log entries have been applied.
+func (kv *KV) Applied() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.applied
+}
+
+// Step advances the underlying replica and applies newly committed
+// entries in log order.
+func (kv *KV) Step(now vclock.Time) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.replica.Step(now)
+	committed := kv.replica.Committed()
+	for ; kv.applied < len(committed); kv.applied++ {
+		key, val := DecodeSet(committed[kv.applied])
+		kv.state[key] = val
+	}
+}
+
+// Snapshot returns a copy of the applied state.
+func (kv *KV) Snapshot() map[uint16]uint16 {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	out := make(map[uint16]uint16, len(kv.state))
+	for k, v := range kv.state {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package consensus
+
+import (
+	"fmt"
+
+	"omegasm/internal/shmem"
+	"omegasm/internal/vclock"
+)
+
+// Log is a replicated log: a fixed array of consensus instances over one
+// shared memory. Slot s's decision is the s-th command of every replica's
+// committed sequence — the classic Omega/Paxos state-machine-replication
+// construction the paper's introduction motivates.
+type Log struct {
+	N     int
+	Slots []*Instance
+}
+
+// NewLog allocates slots consensus instances for n processes in mem.
+func NewLog(mem shmem.Mem, n, slots int) *Log {
+	l := &Log{N: n, Slots: make([]*Instance, slots)}
+	for s := range l.Slots {
+		l.Slots[s] = NewInstance(mem, n, s)
+	}
+	return l
+}
+
+// Replica is one process's view of the replicated log. It learns decided
+// slots in order, and — while the Omega oracle names it leader — proposes
+// its oldest pending command for the first undecided slot.
+type Replica struct {
+	log   *Log
+	id    int
+	omega func() int
+
+	committed []uint32
+	pending   []uint32
+
+	prop     *Proposer
+	propSlot int
+}
+
+// NewReplica creates replica id over log with the given leader oracle.
+func NewReplica(log *Log, id int, omega func() int) (*Replica, error) {
+	if omega == nil {
+		return nil, fmt.Errorf("consensus: nil omega oracle")
+	}
+	return &Replica{log: log, id: id, omega: omega, propSlot: -1}, nil
+}
+
+// Submit queues a command for replication. Commands of different replicas
+// should be distinct values (e.g. tag the replica id into the value);
+// duplicate values are committed once per slot that decides them.
+func (r *Replica) Submit(cmd uint32) { r.pending = append(r.pending, cmd) }
+
+// Committed returns the replica's committed prefix (shared across all
+// replicas by consensus slot agreement).
+func (r *Replica) Committed() []uint32 {
+	return append([]uint32(nil), r.committed...)
+}
+
+// Pending returns the number of commands still waiting for commit.
+func (r *Replica) Pending() int { return len(r.pending) }
+
+// Step advances the replica: learn the next slot if decided, otherwise
+// propose the oldest pending command when leader.
+func (r *Replica) Step(now vclock.Time) {
+	slot := len(r.committed)
+	if slot >= len(r.log.Slots) {
+		return // log full
+	}
+	inst := r.log.Slots[slot]
+	// Learn: any replica's decision register settles the slot.
+	for i := 0; i < r.log.N; i++ {
+		if v, ok := unpackDec(inst.Dec[i].Read(r.id)); ok {
+			r.commit(v)
+			return
+		}
+	}
+	if len(r.pending) == 0 || r.omega() != r.id {
+		return
+	}
+	if r.prop == nil || r.propSlot != slot {
+		p, err := NewProposer(inst, r.id, r.pending[0], r.omega)
+		if err != nil {
+			// Only reachable with a NoValue command, which Submit's
+			// contract excludes; drop it rather than wedge the log.
+			r.pending = r.pending[1:]
+			return
+		}
+		r.prop, r.propSlot = p, slot
+	}
+	r.prop.Step(now)
+	if v, ok := r.prop.Decided(); ok {
+		r.commit(v)
+	}
+}
+
+func (r *Replica) commit(v uint32) {
+	slot := len(r.committed)
+	r.committed = append(r.committed, v)
+	if len(r.pending) > 0 && r.pending[0] == v {
+		r.pending = r.pending[1:]
+	}
+	if r.propSlot == slot {
+		r.prop, r.propSlot = nil, -1
+	}
+}

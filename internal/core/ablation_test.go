@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"omegasm/internal/shmem"
+)
+
+func TestNoStopChargesDemotionAsSuspicion(t *testing.T) {
+	mem := shmem.NewSimMem(3)
+	procs := BuildNoStop(mem, 3)
+	p0, p1 := procs[0], procs[1]
+	// p0 competes once (initial lexmin is 0), then goes silent after p1
+	// observes it.
+	p0.Step(0) // writes PROGRESS[0]
+	p1.OnTimer(0)
+	if !p1.candidates[0] {
+		t.Fatal("progressing p0 must be a candidate")
+	}
+	// p0 demotes itself silently (in the ablation there is no STOP):
+	// from p1's perspective this is indistinguishable from a crash.
+	p1.OnTimer(0)
+	if p1.candidates[0] {
+		t.Fatal("silent p0 must be dropped")
+	}
+	if got := p0.sh.Suspicions[1][0].Read(2); got != 1 {
+		t.Fatalf("SUSPICIONS[1][0] = %d: the demotion must cost a suspicion", got)
+	}
+}
+
+func TestNoStopStillElectsInQuietRuns(t *testing.T) {
+	mem := shmem.NewSimMem(3)
+	procs := BuildNoStop(mem, 3)
+	// Round-robin stepping with interleaved timers: a benign schedule.
+	for round := 0; round < 400; round++ {
+		for _, p := range procs {
+			p.Step(0)
+		}
+		if round%5 == 4 {
+			for _, p := range procs {
+				p.OnTimer(0)
+			}
+		}
+	}
+	want := procs[0].Leader()
+	for _, p := range procs {
+		if p.Leader() != want {
+			t.Fatalf("estimates diverge: %d vs %d", p.Leader(), want)
+		}
+	}
+}
+
+func TestLeaderNoReadGoesBlindOnlyAfterReign(t *testing.T) {
+	mem := shmem.NewSimMem(2)
+	procs := BuildLeaderNoRead(mem, 2, 5)
+	p0 := procs[0]
+	if p0.blind() {
+		t.Fatal("blind before any reign")
+	}
+	for i := 0; i < 5; i++ {
+		p0.Step(0) // p0 is the initial lexmin: each step extends the reign
+	}
+	if !p0.blind() {
+		t.Fatalf("not blind after %d leading steps (reign=%d)", 5, p0.reign)
+	}
+	// Blind steps perform no reads.
+	before := mem.Census().Snapshot()
+	p0.Step(0)
+	d := mem.Census().Snapshot().Diff(before)
+	var reads uint64
+	for _, r := range d.Regs {
+		reads += r.ReadsBy[0]
+	}
+	if reads != 0 {
+		t.Fatalf("blind leader performed %d reads", reads)
+	}
+	// But it keeps writing its heartbeat (it must: Lemma 5).
+	if d.Regs["PROGRESS[0]"].WritesBy[0] != 1 {
+		t.Fatal("blind leader stopped heartbeating")
+	}
+}
+
+func TestLeaderNoReadReignResetsOnDemotion(t *testing.T) {
+	mem := shmem.NewSimMem(2)
+	sh := NewShared1(mem, 2)
+	p1 := NewLeaderNoRead(sh, 1, 3)
+	// p1 is not the lexmin (process 0 is), so its reign never starts.
+	for i := 0; i < 10; i++ {
+		p1.Step(0)
+	}
+	if p1.reign != 0 {
+		t.Fatalf("follower accumulated reign %d", p1.reign)
+	}
+	if p1.blind() {
+		t.Fatal("follower went blind")
+	}
+}
+
+func TestLeaderNoReadBlindAfterClamp(t *testing.T) {
+	mem := shmem.NewSimMem(2)
+	sh := NewShared1(mem, 2)
+	p := NewLeaderNoRead(sh, 0, 0)
+	if p.BlindAfter != 1 {
+		t.Errorf("BlindAfter = %d, want clamp to 1", p.BlindAfter)
+	}
+}
+
+func TestNoStopTimerReflectsOwnSuspicions(t *testing.T) {
+	mem := shmem.NewSimMem(2)
+	procs := BuildNoStop(mem, 2)
+	p1 := procs[1]
+	p1.mySusp[0] = 7
+	p1.candidates[0] = false // avoid an in-call suspicion of the silent p0
+	if got := p1.OnTimer(0); got != 8 {
+		t.Fatalf("timeout = %d, want 8", got)
+	}
+}

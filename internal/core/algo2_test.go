@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"omegasm/internal/shmem"
+)
+
+func algo2Fixture(n int) (*shmem.SimMem, *Shared2, []*Algo2) {
+	mem := shmem.NewSimMem(n)
+	sh := NewShared2(mem, n)
+	procs := make([]*Algo2, n)
+	for i := range procs {
+		procs[i] = NewAlgo2(sh, i)
+	}
+	return mem, sh, procs
+}
+
+func TestAlgo2InitialHandshakeState(t *testing.T) {
+	_, sh, _ := algo2Fixture(3)
+	// Paper initial values: all booleans true, so PROGRESS == LAST
+	// everywhere: every pair starts "signalled alive".
+	for i := 0; i < 3; i++ {
+		for k := 0; k < 3; k++ {
+			p := sh.Progress[i][k].Read(0)
+			l := sh.Last[i][k].Read(0)
+			if p != l {
+				t.Fatalf("PROGRESS[%d][%d]=%d != LAST[%d][%d]=%d initially", i, k, p, i, k, l)
+			}
+		}
+	}
+}
+
+func TestAlgo2RegisterOwnership(t *testing.T) {
+	_, sh, _ := algo2Fixture(3)
+	// PROGRESS[i][k] is owned by the signaller i; LAST[i][k] by the
+	// watcher k (the handshake's defining asymmetry).
+	if got := sh.Progress[1][2].Owner(); got != 1 {
+		t.Errorf("PROGRESS[1][2] owner = %d, want 1", got)
+	}
+	if got := sh.Last[1][2].Owner(); got != 2 {
+		t.Errorf("LAST[1][2] owner = %d, want 2", got)
+	}
+}
+
+func TestAlgo2HandshakeRoundTrip(t *testing.T) {
+	_, sh, procs := algo2Fixture(2)
+	p0, p1 := procs[0], procs[1]
+
+	// Step 1: watcher p1 consumes the initial signal from p0 and
+	// acknowledges: LAST[0][1] flips to differ from PROGRESS[0][1].
+	p1.OnTimer(0)
+	if !p1.candidates[0] {
+		t.Fatal("initial signal must mark p0 as candidate")
+	}
+	if sh.Progress[0][1].Read(1) == sh.Last[0][1].Read(1) {
+		t.Fatal("acknowledgement must cancel the signal (make the pair differ)")
+	}
+
+	// Step 2: with the signal cancelled and STOP[0] still true (p0 has
+	// not competed yet), the next check withdraws p0 without suspicion.
+	p1.OnTimer(0)
+	if p1.candidates[0] {
+		t.Fatal("unsignalled stopped process must be withdrawn")
+	}
+	if got := sh.Suspicions[1][0].Read(0); got != 0 {
+		t.Fatalf("withdrawal counted as suspicion: %d", got)
+	}
+
+	// Step 3: p0 competes (it believes it leads): its step re-signals p1
+	// by copying the acknowledgement value back (line 8.R2) and clears
+	// STOP[0].
+	p0.Step(0)
+	if sh.Progress[0][1].Read(1) != sh.Last[0][1].Read(1) {
+		t.Fatal("leader step must re-signal (make the pair equal)")
+	}
+
+	// Step 4: watcher sees the fresh signal, re-adds and re-acknowledges.
+	p1.OnTimer(0)
+	if !p1.candidates[0] {
+		t.Fatal("fresh signal must re-add p0")
+	}
+	if sh.Progress[0][1].Read(1) == sh.Last[0][1].Read(1) {
+		t.Fatal("second acknowledgement must cancel again")
+	}
+}
+
+func TestAlgo2CrashedLeaderSuspectedOnce(t *testing.T) {
+	_, sh, procs := algo2Fixture(2)
+	p0, p1 := procs[0], procs[1]
+	p0.Step(0)    // p0 competes: signal up, STOP[0] false
+	p1.OnTimer(0) // p1 sees signal, acks
+	// p0 "crashes" now (we simply stop stepping it): no more re-signals,
+	// STOP[0] remains false.
+	p1.OnTimer(0) // no signal, STOP false, candidate => suspicion
+	if got := sh.Suspicions[1][0].Read(0); got != 1 {
+		t.Fatalf("SUSPICIONS[1][0] = %d, want 1", got)
+	}
+	if p1.candidates[0] {
+		t.Fatal("suspected process must be removed")
+	}
+	// Further checks must not inflate the suspicion count (bounded
+	// SUSPICIONS, Theorem 6).
+	for i := 0; i < 10; i++ {
+		p1.OnTimer(0)
+	}
+	if got := sh.Suspicions[1][0].Read(0); got != 1 {
+		t.Fatalf("SUSPICIONS[1][0] grew to %d for a crashed process", got)
+	}
+}
+
+func TestAlgo2AllRegistersBoolean(t *testing.T) {
+	mem, _, procs := algo2Fixture(3)
+	// Drive a few hundred task executions and verify every handshake and
+	// stop register stays in a 1-bit domain (Theorem 6's easy half).
+	for i := 0; i < 300; i++ {
+		for _, p := range procs {
+			p.Step(0)
+			if i%3 == 0 {
+				p.OnTimer(0)
+			}
+		}
+	}
+	snap := mem.Census().Snapshot()
+	for name, r := range snap.Regs {
+		if r.Class == ClassProgress || r.Class == ClassLast || r.Class == ClassStop {
+			if r.Bits() > 1 {
+				t.Errorf("%s widened beyond 1 bit (max=%d)", name, r.MaxValue)
+			}
+		}
+	}
+}
+
+func TestAlgo2LeaderQueryCached(t *testing.T) {
+	mem, _, procs := algo2Fixture(3)
+	procs[0].Step(0)
+	before := mem.Census().Snapshot()
+	for i := 0; i < 50; i++ {
+		_ = procs[1].Leader()
+	}
+	d := mem.Census().Snapshot().Diff(before)
+	var reads uint64
+	for _, r := range d.Regs {
+		reads += r.TotalReads()
+	}
+	if reads != 0 {
+		t.Fatalf("Leader() performed %d register reads", reads)
+	}
+}
+
+func TestAlgo2TimeoutValue(t *testing.T) {
+	_, _, procs := algo2Fixture(3)
+	p1 := procs[1]
+	p1.mySusp[0], p1.mySusp[2] = 2, 7
+	if got := p1.OnTimer(0); got != 8 {
+		t.Fatalf("timeout = %d, want 8", got)
+	}
+}
+
+func TestBuildAlgo2SharesMemory(t *testing.T) {
+	mem := shmem.NewSimMem(3)
+	procs := BuildAlgo2(mem, 3)
+	procs[0].Step(0) // signals everyone
+	// Watcher 2 must observe the signal from process 0.
+	if got := procs[2].sh.Progress[0][2].Read(2); got != procs[2].sh.Last[0][2].Read(2) {
+		t.Fatal("signal from builder-shared memory not visible")
+	}
+}

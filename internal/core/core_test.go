@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLexLess(t *testing.T) {
+	tests := []struct {
+		s1   uint64
+		id1  int
+		s2   uint64
+		id2  int
+		want bool
+	}{
+		{0, 5, 1, 0, true},  // fewer suspicions wins regardless of id
+		{1, 0, 0, 5, false}, //
+		{2, 1, 2, 3, true},  // tie: lower id wins
+		{2, 3, 2, 1, false}, //
+		{7, 4, 7, 4, false}, // equal pair is not less
+	}
+	for _, tc := range tests {
+		if got := lexLess(tc.s1, tc.id1, tc.s2, tc.id2); got != tc.want {
+			t.Errorf("lexLess(%d,%d | %d,%d) = %v, want %v", tc.s1, tc.id1, tc.s2, tc.id2, got, tc.want)
+		}
+	}
+}
+
+// TestLexLessTotalOrder: property — lexLess is a strict total order:
+// irreflexive, asymmetric, and total on distinct pairs.
+func TestLexLessTotalOrder(t *testing.T) {
+	f := func(s1 uint64, id1 uint8, s2 uint64, id2 uint8) bool {
+		a, b := lexLess(s1, int(id1), s2, int(id2)), lexLess(s2, int(id2), s1, int(id1))
+		if s1 == s2 && id1 == id2 {
+			return !a && !b // irreflexive
+		}
+		return a != b // asymmetric and total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexMin(t *testing.T) {
+	susp := []uint64{5, 3, 3, 9}
+	cand := []bool{true, true, true, true}
+	if got := lexMin(susp, cand, 0); got != 1 {
+		t.Errorf("lexMin = %d, want 1 (least suspected, lowest id on tie)", got)
+	}
+	cand[1] = false
+	if got := lexMin(susp, cand, 0); got != 2 {
+		t.Errorf("lexMin = %d, want 2", got)
+	}
+	// Empty candidate set is defensive: returns self.
+	if got := lexMin(susp, []bool{false, false, false, false}, 3); got != 3 {
+		t.Errorf("lexMin on empty set = %d, want self", got)
+	}
+}
+
+// TestLexMinIsMinimal: property — the returned id belongs to the set and
+// no other candidate is lexicographically smaller.
+func TestLexMinIsMinimal(t *testing.T) {
+	f := func(susp []uint64, mask uint8) bool {
+		if len(susp) == 0 {
+			return true
+		}
+		if len(susp) > 8 {
+			susp = susp[:8]
+		}
+		cand := make([]bool, len(susp))
+		any := false
+		for i := range cand {
+			cand[i] = mask&(1<<uint(i)) != 0
+			any = any || cand[i]
+		}
+		got := lexMin(susp, cand, 0)
+		if !any {
+			return got == 0
+		}
+		if !cand[got] {
+			return false
+		}
+		for k := range cand {
+			if cand[k] && lexLess(susp[k], k, susp[got], got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxPlusOne(t *testing.T) {
+	if got := maxPlusOne(nil); got != 1 {
+		t.Errorf("maxPlusOne(nil) = %d, want 1", got)
+	}
+	if got := maxPlusOne([]uint64{0, 0}); got != 1 {
+		t.Errorf("maxPlusOne(zeros) = %d, want 1", got)
+	}
+	if got := maxPlusOne([]uint64{3, 9, 1}); got != 10 {
+		t.Errorf("maxPlusOne = %d, want 10", got)
+	}
+}

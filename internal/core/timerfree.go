@@ -1,0 +1,61 @@
+package core
+
+import (
+	"omegasm/internal/shmem"
+	"omegasm/internal/vclock"
+)
+
+// TimerFree is the timer-free variant of Algorithm 1 (paper Section 3.5,
+// "Eliminating the local clocks"): the local timer is replaced by a
+// counted loop inside task T2. Each Step first decrements the counter and,
+// when it reaches zero, runs the T3 body and re-arms the counter to
+// max_k SUSPICIONS[i][k] + 1; then it runs the usual T2 body.
+//
+// The paper's justification: if each loop iteration takes at least one
+// time unit, the counted loop is a timer whose duration T_R(tau, x) >= x
+// ticks, i.e. it dominates f(tau, x) = x — an asymptotically well-behaved
+// timer by construction. The variant therefore needs no AWB2 assumption on
+// hardware timers at all.
+type TimerFree struct {
+	inner     *Algo1
+	countdown uint64
+}
+
+var _ Proc = (*TimerFree)(nil)
+
+// NewTimerFree wraps process id of Algorithm 1 over sh as the timer-free
+// variant.
+func NewTimerFree(sh *Shared1, id int) *TimerFree {
+	return &TimerFree{inner: NewAlgo1(sh, id)}
+}
+
+// ID implements Proc.
+func (p *TimerFree) ID() int { return p.inner.ID() }
+
+// Leader implements task T1's externally observable value.
+func (p *TimerFree) Leader() int { return p.inner.Leader() }
+
+// Step runs the counted-loop timer check and then one T2 iteration.
+func (p *TimerFree) Step(now vclock.Time) {
+	if p.countdown == 0 {
+		p.countdown = p.inner.OnTimer(now)
+	} else {
+		p.countdown--
+	}
+	p.inner.Step(now)
+}
+
+// OnTimer is never armed for this variant: it returns 0, which tells the
+// scheduler not to re-arm the hardware timer.
+func (p *TimerFree) OnTimer(vclock.Time) uint64 { return 0 }
+
+// BuildTimerFree allocates Algorithm 1's shared memory in mem and returns
+// n timer-free processes over it.
+func BuildTimerFree(mem shmem.Mem, n int) []*TimerFree {
+	sh := NewShared1(mem, n)
+	procs := make([]*TimerFree, n)
+	for i := 0; i < n; i++ {
+		procs[i] = NewTimerFree(sh, i)
+	}
+	return procs
+}

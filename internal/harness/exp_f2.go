@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+
+	"omegasm/internal/stats"
+	"omegasm/internal/trace"
+	"omegasm/internal/vclock"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "F2",
+		Title: "Algorithm 1 elects an eventual leader in every AWB run",
+		Paper: "Figure 2 / Theorem 1",
+		Run:   runF2,
+	})
+}
+
+// runF2 regenerates the content of Figure 2 / Theorem 1: across system
+// sizes, seeds and crash patterns (from none up to n-1 crashes, the
+// paper's t < n bound), Algorithm 1 stabilizes on a single correct leader
+// in every run satisfying AWB. The table reports the stabilization-time
+// distribution; the verdicts require every run to stabilize correctly.
+func runF2(cfg Config) (*Outcome, error) {
+	horizon := cfg.horizon(400_000)
+	seeds := cfg.seeds()
+	report := &trace.Report{}
+	tbl := &stats.Table{
+		Title:  "F2: Algorithm 1 election latency (virtual ticks)",
+		Header: []string{"n", "crashes", "runs", "stabilized", "stab p50", "stab p90", "stab max"},
+		Caption: "Stabilization time = earliest instant from which all correct processes " +
+			"agree on one correct leader forever (Theorem 1).",
+	}
+
+	ns := []int{3, 5, 8}
+	if cfg.Quick {
+		ns = []int{3, 5}
+	}
+	allStable := true
+	for _, n := range ns {
+		for _, crashes := range crashPatterns(n) {
+			var stabs []float64
+			stable := 0
+			runs := 0
+			for seed := int64(1); seed <= int64(seeds); seed++ {
+				p := defaultPreset(AlgoWriteEfficient, n, seed, horizon)
+				p.Crash = crashSchedule(crashes, horizon)
+				out, err := Execute(p)
+				if err != nil {
+					return nil, err
+				}
+				runs++
+				if out.Stable {
+					stable++
+					stabs = append(stabs, float64(out.StabTime))
+				} else {
+					allStable = false
+				}
+			}
+			sum := stats.Summarize(stabs)
+			tbl.AddRow(stats.I(n), stats.I(crashes), stats.I(runs), stats.I(stable),
+				stats.F(sum.P50), stats.F(sum.P90), stats.F(sum.Max))
+		}
+	}
+	report.Add("Thm1/eventualLeadership", allStable,
+		fmt.Sprintf("every AWB run over n in %v with 0..n-1 crashes stabilized", ns))
+	return &Outcome{Tables: []*stats.Table{tbl}, Report: report}, nil
+}
+
+// crashPatterns returns the crash counts exercised for a system of size n:
+// 0, a minority, and the maximum n-1 (the paper assumes t = n-1: any
+// number of processes may crash).
+func crashPatterns(n int) []int {
+	out := []int{0}
+	if n >= 3 {
+		out = append(out, (n-1)/2)
+	}
+	out = append(out, n-1)
+	return out
+}
+
+// crashSchedule crashes processes n-1, n-2, ... (never process 0, the
+// AWB1 process) at staggered times in the first third of the horizon.
+func crashSchedule(count int, horizon vclock.Time) map[int]vclock.Time {
+	if count == 0 {
+		return nil
+	}
+	m := make(map[int]vclock.Time, count)
+	for c := 0; c < count; c++ {
+		pid := c + 1 // keep process 0 alive (it is the AWB1 process)
+		m[pid] = horizon/6 + vclock.Time(c)*horizon/24
+	}
+	return m
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+
+	"omegasm/internal/stats"
+	"omegasm/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T4",
+		Title: "Section 3.5 variants behave like Algorithm 1",
+		Paper: "Section 3.5 (nWnR registers; eliminating the local clocks)",
+		Run:   runT4,
+	})
+}
+
+// runT4 checks the two Section 3.5 variants against Algorithm 1 run by
+// run (same seeds, same adversary): both must stabilize, elect a correct
+// leader, and keep Algorithm 1's write-efficiency (one eventual writer,
+// one growing register). The nWnR variant must do it with n suspicion
+// registers instead of n^2.
+func runT4(cfg Config) (*Outcome, error) {
+	horizon := cfg.horizon(400_000)
+	seeds := cfg.seeds()
+	n := 5
+	report := &trace.Report{}
+	tbl := &stats.Table{
+		Title:  "T4: Algorithm 1 vs its Section 3.5 variants",
+		Header: []string{"algorithm", "seed", "stabilized", "leader", "stab time", "suffix writers", "susp regs"},
+		Caption: "susp regs counts suspicion registers allocated (n^2 for the matrix, n for " +
+			"the nWnR vector).",
+	}
+
+	for _, algo := range []Algo{AlgoWriteEfficient, AlgoNWNR, AlgoTimerFree} {
+		okAll := true
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			p := defaultPreset(algo, n, seed, horizon)
+			out, err := Execute(p)
+			if err != nil {
+				return nil, err
+			}
+			suspRegs := 0
+			for _, r := range out.End.Regs {
+				if r.Class == "SUSPICIONS" || r.Class == "NSUSP" {
+					suspRegs++
+				}
+			}
+			writers := "-"
+			if out.StableBeforeMid() {
+				writers = fmt.Sprintf("%v", out.Suffix().Writers())
+				if len(out.Suffix().Writers()) != 1 {
+					okAll = false
+				}
+			} else {
+				okAll = false
+			}
+			tbl.AddRow(string(algo), fmt.Sprintf("%d", seed),
+				fmt.Sprintf("%v", out.Stable), stats.I(out.Leader),
+				fmt.Sprintf("%d", out.StabTime), writers, stats.I(suspRegs))
+		}
+		report.Add(fmt.Sprintf("T4/%s/writeEfficient", algo), okAll,
+			"stabilized with a single eventual writer on every seed")
+	}
+	return &Outcome{Tables: []*stats.Table{tbl}, Report: report}, nil
+}

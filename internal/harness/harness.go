@@ -1,0 +1,362 @@
+// Package harness defines the reproduction's experiments: one per figure
+// and theorem of the paper (see DESIGN.md's experiment index), each
+// regenerating the corresponding artifact as tables of measurements plus
+// pass/fail verdicts of the paper's claims.
+//
+// The paper is theoretical and has no measured evaluation section; its
+// figures are the algorithm listings (Figures 2 and 5), the timer
+// definition (Figure 1), the leader write sequence (Figure 3) and the
+// lower-bound run construction (Figure 4). Each experiment here executes
+// the figure's content: runs the algorithm over the adversarial run class
+// of its theorem and measures the claimed behavior.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"omegasm/internal/baseline"
+	"omegasm/internal/core"
+	"omegasm/internal/sched"
+	"omegasm/internal/shmem"
+	"omegasm/internal/stats"
+	"omegasm/internal/trace"
+	"omegasm/internal/vclock"
+)
+
+// Algo selects an algorithm under test.
+type Algo string
+
+// The algorithms the harness can run.
+const (
+	AlgoWriteEfficient Algo = "algo1"     // paper Figure 2
+	AlgoBounded        Algo = "algo2"     // paper Figure 5
+	AlgoNWNR           Algo = "nwnr"      // paper Section 3.5 (nWnR)
+	AlgoTimerFree      Algo = "timerfree" // paper Section 3.5 (no clocks)
+	AlgoBaseline       Algo = "baseline"  // paper reference [13]
+	AlgoStrawman       Algo = "strawman"  // paper Figure 4 counterexample
+)
+
+// Algos lists the Omega implementations (not the strawman) in report
+// order.
+var Algos = []Algo{AlgoWriteEfficient, AlgoBounded, AlgoNWNR, AlgoTimerFree, AlgoBaseline}
+
+// Config is the global experiment configuration.
+type Config struct {
+	// Quick shrinks horizons and seed counts for use from unit tests.
+	Quick bool
+	// Seeds is the number of seeded repetitions per data point.
+	Seeds int
+}
+
+func (c Config) seeds() int {
+	if c.Seeds > 0 {
+		return c.Seeds
+	}
+	if c.Quick {
+		return 3
+	}
+	return 10
+}
+
+func (c Config) horizon(full vclock.Time) vclock.Time {
+	if c.Quick {
+		return full / 4
+	}
+	return full
+}
+
+// Outcome is what an experiment produces: regenerated tables plus claim
+// verdicts.
+type Outcome struct {
+	Tables []*stats.Table
+	Report *trace.Report
+	Notes  []string
+}
+
+// Experiment is one entry of the reproduction's experiment index.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // the paper artifact it regenerates
+	Run   func(Config) (*Outcome, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments in report order: the figure experiments
+// (F1..F5), then the theorem/table experiments (T1..T6), then the
+// ablations (A1, A2). Registration order is file-init order and is not
+// meaningful.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	rank := func(id string) int {
+		if id == "" {
+			return 1 << 20
+		}
+		series := map[byte]int{'F': 0, 'T': 1, 'A': 2}[id[0]]
+		return series<<8 + int(id[len(id)-1])
+	}
+	sort.Slice(out, func(i, j int) bool { return rank(out[i].ID) < rank(out[j].ID) })
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
+}
+
+// Preset describes one simulated run.
+type Preset struct {
+	Algo    Algo
+	N       int
+	Seed    int64
+	Horizon vclock.Time
+	Crash   map[int]vclock.Time
+
+	// AWB parameters.
+	AWBProc int
+	Tau1    vclock.Time
+	Delta   vclock.Duration
+
+	// Overrides; nil entries use scheduler defaults.
+	Pacing []sched.Pacing
+	Timers []vclock.Behavior
+
+	// Strawman parameters.
+	StrawMod     uint64
+	StrawSuspCap uint64
+
+	// LogClasses enables per-write logging for these register classes.
+	LogClasses []string
+
+	// SampleEvery overrides the observation period.
+	SampleEvery vclock.Duration
+
+	// Aux steppers (e.g. consensus replicas) attached after build.
+	Aux func(mem shmem.Mem, procs []sched.Process, w *sched.World) error
+}
+
+// RunOutcome is the measured result of one simulated run.
+type RunOutcome struct {
+	Res      *sched.Result
+	End      *shmem.CensusSnapshot
+	Mid      *shmem.CensusSnapshot // taken at 3/4 of the horizon
+	MidTime  vclock.Time
+	WriteLog []shmem.WriteEvent
+
+	StabTime vclock.Time
+	Leader   int
+	Stable   bool
+
+	// Invariants is the online checker attached to every run: Validity,
+	// crash monotonicity, time monotonicity. A violation is a bug, not an
+	// experimental outcome.
+	Invariants *trace.InvariantChecker
+}
+
+// Suffix returns the census of the post-midpoint window (final minus
+// midpoint): the operational version of the paper's "after some finite
+// time" quantifier.
+func (o *RunOutcome) Suffix() *shmem.CensusSnapshot {
+	return o.End.Diff(o.Mid)
+}
+
+// StableBeforeMid reports whether the run had stabilized before the
+// midpoint snapshot, which the suffix-window verdicts require.
+func (o *RunOutcome) StableBeforeMid() bool {
+	return o.Stable && o.StabTime <= o.MidTime
+}
+
+// buildProcs allocates the preset's algorithm over mem.
+func buildProcs(p Preset, mem shmem.Mem) ([]sched.Process, error) {
+	wrap := func(n int, at func(int) sched.Process) []sched.Process {
+		out := make([]sched.Process, n)
+		for i := range out {
+			out[i] = at(i)
+		}
+		return out
+	}
+	switch p.Algo {
+	case AlgoWriteEfficient:
+		ps := core.BuildAlgo1(mem, p.N)
+		return wrap(p.N, func(i int) sched.Process { return ps[i] }), nil
+	case AlgoBounded:
+		ps := core.BuildAlgo2(mem, p.N)
+		return wrap(p.N, func(i int) sched.Process { return ps[i] }), nil
+	case AlgoNWNR:
+		ps := core.BuildNWNR(mem, p.N)
+		return wrap(p.N, func(i int) sched.Process { return ps[i] }), nil
+	case AlgoTimerFree:
+		ps := core.BuildTimerFree(mem, p.N)
+		return wrap(p.N, func(i int) sched.Process { return ps[i] }), nil
+	case AlgoBaseline:
+		ps := baseline.Build(mem, p.N)
+		return wrap(p.N, func(i int) sched.Process { return ps[i] }), nil
+	case AlgoStrawman:
+		mod, suspCap := p.StrawMod, p.StrawSuspCap
+		if mod == 0 {
+			mod = 4
+		}
+		if suspCap == 0 {
+			suspCap = 8
+		}
+		ps := core.BuildStrawman(mem, p.N, mod, suspCap)
+		return wrap(p.N, func(i int) sched.Process { return ps[i] }), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown algorithm %q", p.Algo)
+	}
+}
+
+// newWorld builds the scheduler world of a preset over already-built
+// processes (exposed separately from Execute so experiments can attach
+// custom hooks).
+func newWorld(p Preset, procs []sched.Process, mem shmem.Mem) (*sched.World, error) {
+	cfg := sched.Config{
+		N:           p.N,
+		Seed:        p.Seed,
+		Horizon:     p.Horizon,
+		SampleEvery: p.SampleEvery,
+		AWBProc:     p.AWBProc,
+		Tau1:        p.Tau1,
+		Delta:       p.Delta,
+		Pacing:      p.Pacing,
+		Timers:      p.Timers,
+		Crash:       p.Crash,
+	}
+	return sched.NewWorld(cfg, procs, mem)
+}
+
+// Execute runs one preset to completion and analyzes it.
+func Execute(p Preset) (*RunOutcome, error) {
+	mem := shmem.NewSimMem(p.N)
+	if len(p.LogClasses) > 0 {
+		mem.Census().LogWrites(p.LogClasses...)
+	}
+	procs, err := buildProcs(p, mem)
+	if err != nil {
+		return nil, err
+	}
+	w, err := newWorld(p, procs, mem)
+	if err != nil {
+		return nil, err
+	}
+	out := &RunOutcome{Invariants: trace.NewInvariantChecker(p.N)}
+	w.AddHook(out.Invariants)
+	midAt := p.Horizon * 3 / 4
+	w.AddHook(sched.HookFunc(func(w *sched.World, s sched.Sample) {
+		if out.Mid == nil && s.T >= midAt {
+			out.Mid = mem.Census().Snapshot()
+			out.MidTime = s.T
+		}
+	}))
+	if p.Aux != nil {
+		if err := p.Aux(mem, procs, w); err != nil {
+			return nil, err
+		}
+	}
+	out.Res = w.Run()
+	out.End = mem.Census().Snapshot()
+	if out.Mid == nil { // horizon too small for the hook to fire
+		out.Mid = out.End
+		out.MidTime = out.Res.End
+	}
+	out.WriteLog = mem.Census().WriteLog()
+	out.StabTime, out.Leader, out.Stable = trace.Stabilization(out.Res.Samples, out.Res.Crashed)
+	return out, nil
+}
+
+// defaultPreset fills an AWB-satisfying configuration: process 0 is the
+// AWB1 process; everyone else is heavy-tailed asynchronous with
+// adversarial-prefix AWB timers that settle at tau_1.
+func defaultPreset(algo Algo, n int, seed int64, horizon vclock.Time) Preset {
+	p := Preset{
+		Algo:    algo,
+		N:       n,
+		Seed:    seed,
+		Horizon: horizon,
+		AWBProc: 0,
+		Tau1:    horizon / 8,
+		Delta:   8,
+	}
+	p.Pacing = advPacing(n, seed, horizon)
+	p.Timers = advTimers(n, seed, horizon)
+	return p
+}
+
+// advPacing builds the canonical asynchronous adversary: every process is
+// heavy-tailed (occasional long stalls). Process 0 is also heavy-tailed —
+// the scheduler's AWB1 clamp tames it after tau_1, which is exactly the
+// assumption's shape: chaotic prefix, then timely. Each process draws
+// from its own seeded source (sched.OwnRng) so a process's delay sequence
+// does not depend on the interleaving.
+func advPacing(n int, seed int64, horizon vclock.Time) []sched.Pacing {
+	ps := make([]sched.Pacing, n)
+	stall := horizon / 64
+	if stall < 32 {
+		stall = 32
+	}
+	for i := range ps {
+		ps[i] = sched.OwnRng{
+			Rng: newRng(seed, 7000+i),
+			P:   sched.HeavyTail{Min: 1, Max: 8, StallP: 0.02, StallMax: stall},
+		}
+	}
+	return ps
+}
+
+// advTimers builds per-process asymptotically well-behaved timers with an
+// arbitrary prefix up to horizon/8 and bounded oscillation afterwards.
+func advTimers(n int, seed int64, horizon vclock.Time) []vclock.Behavior {
+	return advTimersAt(n, seed, horizon/8)
+}
+
+// advTimersAt is advTimers with an explicit settle point.
+func advTimersAt(n int, seed int64, settle vclock.Time) []vclock.Behavior {
+	ts := make([]vclock.Behavior, n)
+	for i := range ts {
+		ts[i] = &vclock.Adversarial{
+			F:         vclock.Affine{A: 4, B: 1},
+			Settle:    settle,
+			PrefixMax: 64,
+			OscAmp:    16,
+			Rng:       newRng(seed, i),
+		}
+	}
+	return ts
+}
+
+// buildWorld builds memory, processes and world for a preset, for
+// experiments that need to attach hooks before running.
+func buildWorld(p Preset) (*shmem.SimMem, []sched.Process, *sched.World, error) {
+	mem := shmem.NewSimMem(p.N)
+	if len(p.LogClasses) > 0 {
+		mem.Census().LogWrites(p.LogClasses...)
+	}
+	procs, err := buildProcs(p, mem)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	w, err := newWorld(p, procs, mem)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return mem, procs, w, nil
+}
+
+func newRng(seed int64, salt int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(salt)))
+}

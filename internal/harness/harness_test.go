@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode
+// and requires every verdict to pass: this is the repository's
+// "reproduce the paper" integration test.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(Config{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if out.Report == nil {
+				t.Fatalf("%s: no report", e.ID)
+			}
+			for _, v := range out.Report.Verdicts {
+				if !v.OK {
+					t.Errorf("%s verdict failed: %s", e.ID, v)
+				}
+			}
+			for _, tbl := range out.Tables {
+				t.Logf("\n%s", tbl.Render())
+			}
+		})
+	}
+}

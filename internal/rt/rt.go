@@ -1,0 +1,249 @@
+// Package rt is the live runtime: it runs the core state machines on real
+// goroutines, with sync/atomic registers (or SAN-replicated ones) and
+// time.Timer-based timers.
+//
+// Mapping to the paper's model:
+//
+//   - Task T2's infinite loop is a goroutine that calls Step every
+//     StepInterval.
+//   - Task T3's timer is a time.Timer armed to TimerUnit * x after every
+//     firing, where x is the value the algorithm set the timer to (paper
+//     line 27). On a healthy machine the elapsed duration of a Go timer is
+//     at least its programmed duration, i.e. T_R(tau, x) >= TimerUnit * x:
+//     an asymptotically well-behaved timer dominating f(tau, x) =
+//     TimerUnit*x by construction — AWB2 holds. AWB1 holds for any process
+//     whose stepper goroutine keeps getting scheduled, which the Go
+//     runtime guarantees for runnable goroutines.
+//   - A crash is simulated by stopping a node's goroutines: a crashed
+//     process takes no further steps and writes nothing, exactly the
+//     paper's crash-stop failure.
+//
+// All goroutines are joined on Stop — the runtime never leaks.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"omegasm/internal/vclock"
+)
+
+// Proc is the state-machine contract the runtime drives; the core
+// algorithms implement it.
+type Proc interface {
+	Step(now vclock.Time)
+	OnTimer(now vclock.Time) (next uint64)
+	Leader() int
+	ID() int
+}
+
+// Config parameterizes the live runtime.
+type Config struct {
+	// StepInterval is the pause between T2 iterations; default 200us.
+	StepInterval time.Duration
+	// TimerUnit converts the algorithm's timeout value x into a real
+	// duration; default 2ms.
+	TimerUnit time.Duration
+}
+
+func (c *Config) normalize() {
+	if c.StepInterval <= 0 {
+		c.StepInterval = 200 * time.Microsecond
+	}
+	if c.TimerUnit <= 0 {
+		c.TimerUnit = 2 * time.Millisecond
+	}
+}
+
+// Runtime drives a set of processes on live goroutines.
+type Runtime struct {
+	cfg   Config
+	nodes []*node
+	start time.Time
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+}
+
+type node struct {
+	rt   *Runtime
+	proc Proc
+
+	mu      sync.Mutex // guards proc's local state across tasks
+	crashed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New builds a runtime over the given processes.
+func New(cfg Config, procs []Proc) (*Runtime, error) {
+	if len(procs) < 2 {
+		return nil, fmt.Errorf("rt: need at least 2 processes, got %d", len(procs))
+	}
+	cfg.normalize()
+	r := &Runtime{cfg: cfg, start: time.Now()}
+	for _, p := range procs {
+		r.nodes = append(r.nodes, &node{rt: r, proc: p, stop: make(chan struct{})})
+	}
+	return r, nil
+}
+
+// now returns nanoseconds since runtime start, the live vclock.Time.
+func (r *Runtime) now() vclock.Time { return int64(time.Since(r.start)) }
+
+// Start launches every node's task goroutines. It may be called once.
+func (r *Runtime) Start() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return fmt.Errorf("rt: already started")
+	}
+	r.started = true
+	for _, n := range r.nodes {
+		n.run()
+	}
+	return nil
+}
+
+// Stop crashes every node and joins all goroutines. Idempotent.
+func (r *Runtime) Stop() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	for _, n := range r.nodes {
+		n.halt()
+	}
+	for _, n := range r.nodes {
+		n.wg.Wait()
+	}
+}
+
+// Crash stops process i's goroutines, simulating a crash-stop failure.
+// The node's registers keep their last values, as in the paper's model.
+func (r *Runtime) Crash(i int) error {
+	if i < 0 || i >= len(r.nodes) {
+		return fmt.Errorf("rt: no process %d", i)
+	}
+	n := r.nodes[i]
+	n.halt()
+	n.wg.Wait()
+	return nil
+}
+
+// Crashed reports whether process i has been crashed.
+func (r *Runtime) Crashed(i int) bool {
+	if i < 0 || i >= len(r.nodes) {
+		return true
+	}
+	n := r.nodes[i]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed
+}
+
+// Leader returns process i's current leader estimate (task T1).
+func (r *Runtime) Leader(i int) (int, error) {
+	if i < 0 || i >= len(r.nodes) {
+		return -1, fmt.Errorf("rt: no process %d", i)
+	}
+	n := r.nodes[i]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.proc.Leader(), nil
+}
+
+// AgreedLeader returns the common leader estimate of all live processes,
+// or (-1, false) while they disagree.
+func (r *Runtime) AgreedLeader() (int, bool) {
+	leader := -1
+	for i, n := range r.nodes {
+		n.mu.Lock()
+		crashed := n.crashed
+		l := n.proc.Leader()
+		n.mu.Unlock()
+		if crashed {
+			continue
+		}
+		if leader == -1 {
+			leader = l
+		} else if leader != l {
+			return -1, false
+		}
+		_ = i
+	}
+	return leader, leader != -1
+}
+
+// WaitForAgreement polls until all live processes agree on a live leader
+// or the timeout elapses.
+func (r *Runtime) WaitForAgreement(timeout time.Duration) (int, bool) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if l, ok := r.AgreedLeader(); ok && !r.Crashed(l) {
+			return l, true
+		}
+		time.Sleep(r.cfg.StepInterval)
+	}
+	return -1, false
+}
+
+// N returns the number of processes.
+func (r *Runtime) N() int { return len(r.nodes) }
+
+func (n *node) run() {
+	// Task T2: the main loop.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ticker := time.NewTicker(n.rt.cfg.StepInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-ticker.C:
+				n.mu.Lock()
+				n.proc.Step(n.rt.now())
+				n.mu.Unlock()
+			}
+		}
+	}()
+	// Task T3: the timer loop. The timer starts at value 1, as in the
+	// simulator.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		timer := time.NewTimer(n.rt.cfg.TimerUnit)
+		defer timer.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-timer.C:
+				n.mu.Lock()
+				x := n.proc.OnTimer(n.rt.now())
+				n.mu.Unlock()
+				if x == 0 {
+					return // timer-free variant: never re-arm
+				}
+				timer.Reset(time.Duration(x) * n.rt.cfg.TimerUnit)
+			}
+		}
+	}()
+}
+
+func (n *node) halt() {
+	n.once.Do(func() {
+		n.mu.Lock()
+		n.crashed = true
+		n.mu.Unlock()
+		close(n.stop)
+	})
+}

@@ -1,0 +1,177 @@
+package rt_test
+
+import (
+	"testing"
+	"time"
+
+	"omegasm/internal/core"
+	"omegasm/internal/rt"
+	"omegasm/internal/shmem"
+)
+
+func liveCluster(t *testing.T, n int, algo string) (*rt.Runtime, *shmem.AtomicMem) {
+	t.Helper()
+	mem := shmem.NewAtomicMem(n, true)
+	procs := make([]rt.Proc, n)
+	switch algo {
+	case "algo1":
+		for i, p := range core.BuildAlgo1(mem, n) {
+			procs[i] = p
+		}
+	case "algo2":
+		for i, p := range core.BuildAlgo2(mem, n) {
+			procs[i] = p
+		}
+	default:
+		t.Fatalf("unknown algo %q", algo)
+	}
+	r, err := rt.New(rt.Config{
+		StepInterval: 100 * time.Microsecond,
+		TimerUnit:    time.Millisecond,
+	}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, mem
+}
+
+func TestRTValidation(t *testing.T) {
+	if _, err := rt.New(rt.Config{}, nil); err == nil {
+		t.Error("empty process list accepted")
+	}
+}
+
+func TestRTStartTwiceFails(t *testing.T) {
+	r, _ := liveCluster(t, 2, "algo1")
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.Start(); err == nil {
+		t.Error("second Start accepted")
+	}
+}
+
+func TestRTStopIdempotent(t *testing.T) {
+	r, _ := liveCluster(t, 2, "algo1")
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.Stop()
+	r.Stop() // must not panic or deadlock
+}
+
+func TestRTElectsLive(t *testing.T) {
+	for _, algo := range []string{"algo1", "algo2"} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			r, _ := liveCluster(t, 4, algo)
+			if err := r.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer r.Stop()
+			leader, ok := r.WaitForAgreement(10 * time.Second)
+			if !ok {
+				t.Fatal("no agreement within 10s")
+			}
+			if leader < 0 || leader >= 4 || r.Crashed(leader) {
+				t.Fatalf("bad leader %d", leader)
+			}
+		})
+	}
+}
+
+func TestRTCrashAndReElect(t *testing.T) {
+	r, mem := liveCluster(t, 4, "algo1")
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	leader, ok := r.WaitForAgreement(10 * time.Second)
+	if !ok {
+		t.Fatal("no initial agreement")
+	}
+	if err := r.Crash(leader); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Crashed(leader) {
+		t.Fatal("Crashed() false after Crash")
+	}
+	next, ok := r.WaitForAgreement(20 * time.Second)
+	if !ok {
+		t.Fatal("no re-election after crash")
+	}
+	if next == leader {
+		t.Fatalf("crashed process %d re-elected", leader)
+	}
+	// The crashed process must stop writing: snapshot twice and compare.
+	before := mem.Census().Snapshot()
+	time.Sleep(50 * time.Millisecond)
+	diff := mem.Census().Snapshot().Diff(before)
+	for _, reg := range diff.Regs {
+		if reg.WritesBy[leader] > 0 {
+			t.Fatalf("crashed process still writing %s", reg.Name)
+		}
+	}
+}
+
+func TestRTCrashInvalidPid(t *testing.T) {
+	r, _ := liveCluster(t, 2, "algo1")
+	if err := r.Crash(-1); err == nil {
+		t.Error("Crash(-1) accepted")
+	}
+	if err := r.Crash(99); err == nil {
+		t.Error("Crash(99) accepted")
+	}
+	if _, err := r.Leader(99); err == nil {
+		t.Error("Leader(99) accepted")
+	}
+	if !r.Crashed(99) {
+		t.Error("out-of-range process must read as crashed")
+	}
+}
+
+// TestRTWriteEfficiencyLive reproduces Theorem 3 on the live runtime:
+// once agreement holds for a while, only the leader writes.
+func TestRTWriteEfficiencyLive(t *testing.T) {
+	r, mem := liveCluster(t, 3, "algo1")
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	leader, ok := r.WaitForAgreement(10 * time.Second)
+	if !ok {
+		t.Fatal("no agreement")
+	}
+	// Let the anarchy fully drain, then census a settled window.
+	time.Sleep(200 * time.Millisecond)
+	if l2, ok := r.AgreedLeader(); !ok || l2 != leader {
+		t.Skip("leadership churned during settling; timing-sensitive on loaded machines")
+	}
+	before := mem.Census().Snapshot()
+	time.Sleep(100 * time.Millisecond)
+	diff := mem.Census().Snapshot().Diff(before)
+	writers := diff.Writers()
+	if len(writers) != 1 || writers[0] != leader {
+		t.Errorf("settled-window writers = %v, want [%d]", writers, leader)
+	}
+}
+
+func TestRTTimerFreeVariantLive(t *testing.T) {
+	mem := shmem.NewAtomicMem(3, false)
+	procs := make([]rt.Proc, 3)
+	for i, p := range core.BuildTimerFree(mem, 3) {
+		procs[i] = p
+	}
+	r, err := rt.New(rt.Config{StepInterval: 50 * time.Microsecond}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if _, ok := r.WaitForAgreement(10 * time.Second); !ok {
+		t.Fatal("timer-free variant did not agree live")
+	}
+}

@@ -1,0 +1,299 @@
+package san
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file implements Disk Paxos (Gafni & Lamport — the paper's
+// reference [9]) directly over the simulated disks, as opposed to the
+// register-based consensus in internal/consensus which runs over any
+// shmem.Mem. Disk Paxos is the algorithm actually designed for the
+// paper's motivating SAN deployment: each process owns one block per
+// disk, writes only its own blocks, and reads everybody's from a majority
+// of disks.
+//
+// A dblock is (mbal, bal, inp) packed into one 64-bit disk word so each
+// block write is atomic on its disk:
+//
+//	bits 40..63: mbal (24 bits)   highest ballot the process entered
+//	bits 16..39: bal  (24 bits)   ballot of the value it last accepted
+//	bits  0..15: inp  (16 bits)   that value
+//
+// Ballots are below 2^24 and values below 2^16; Propose validates both.
+// A committed value is published in a per-process commit block so
+// followers and laggards terminate by polling.
+
+// ErrValueRange is returned for inputs outside the 16-bit value space.
+var ErrValueRange = errors.New("san: disk-paxos values must fit in 16 bits")
+
+// ErrRoundsExhausted is returned when Propose gives up after MaxRounds
+// ballots (e.g. because the oracle kept moving).
+var ErrRoundsExhausted = errors.New("san: disk paxos gave up after max rounds")
+
+const (
+	dpMbalShift = 40
+	dpBalShift  = 16
+	dpFieldMask = 1<<24 - 1
+	dpValMask   = 1<<16 - 1
+)
+
+func packDBlock(mbal, bal uint32, inp uint16) uint64 {
+	return uint64(mbal&dpFieldMask)<<dpMbalShift |
+		uint64(bal&dpFieldMask)<<dpBalShift |
+		uint64(inp)
+}
+
+func unpackDBlock(w uint64) (mbal, bal uint32, inp uint16) {
+	return uint32(w >> dpMbalShift & dpFieldMask),
+		uint32(w >> dpBalShift & dpFieldMask),
+		uint16(w & dpValMask)
+}
+
+// DiskPaxos is one consensus instance over a set of disks.
+type DiskPaxos struct {
+	disks []*Disk
+	n     int
+	tag   string
+
+	// seq tags each process's disk writes so retries stay idempotent
+	// (Disk.WriteBlock keeps the highest sequence number).
+	mu  sync.Mutex
+	seq map[int]uint64
+}
+
+// NewDiskPaxos creates an instance for n processes over the disks; tag
+// namespaces the blocks so several instances can share disks.
+func NewDiskPaxos(disks []*Disk, n int, tag string) (*DiskPaxos, error) {
+	if len(disks) < 1 {
+		return nil, fmt.Errorf("san: disk paxos needs at least one disk")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("san: disk paxos needs at least one process")
+	}
+	return &DiskPaxos{
+		disks: disks,
+		n:     n,
+		tag:   tag,
+		seq:   make(map[int]uint64),
+	}, nil
+}
+
+func (dp *DiskPaxos) quorum() int { return len(dp.disks)/2 + 1 }
+
+func (dp *DiskPaxos) blockName(p int) string {
+	return fmt.Sprintf("dp/%s/b%d", dp.tag, p)
+}
+
+func (dp *DiskPaxos) commitName(p int) string {
+	return fmt.Sprintf("dp/%s/c%d", dp.tag, p)
+}
+
+func (dp *DiskPaxos) nextSeq(p int) uint64 {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	dp.seq[p]++
+	return dp.seq[p]
+}
+
+// writeMajority writes (name, val) to all disks and returns once a
+// majority acknowledged; it errors if a majority is unreachable.
+func (dp *DiskPaxos) writeMajority(p int, name string, val uint64) error {
+	seq := dp.nextSeq(p)
+	ch := make(chan error, len(dp.disks))
+	for _, d := range dp.disks {
+		d := d
+		go func() { ch <- d.WriteBlock(name, seq, val) }()
+	}
+	need, failed := dp.quorum(), 0
+	for got := 0; got < need; {
+		if err := <-ch; err != nil {
+			failed++
+			if failed > len(dp.disks)-need {
+				return ErrNoQuorum
+			}
+			continue
+		}
+		got++
+	}
+	return nil
+}
+
+// readAllMajority reads every process's dblock from a majority of disks
+// and returns, per process, the block with the highest sequence number
+// seen. Missing blocks read as zero.
+func (dp *DiskPaxos) readAllMajority(reader int) ([]uint64, error) {
+	type diskRead struct {
+		vals []uint64
+		seqs []uint64
+		err  error
+	}
+	ch := make(chan diskRead, len(dp.disks))
+	for _, d := range dp.disks {
+		d := d
+		go func() {
+			r := diskRead{vals: make([]uint64, dp.n), seqs: make([]uint64, dp.n)}
+			for p := 0; p < dp.n; p++ {
+				seq, val, err := d.ReadBlock(dp.blockName(p))
+				if err != nil {
+					r.err = err
+					break
+				}
+				r.seqs[p], r.vals[p] = seq, val
+			}
+			ch <- r
+		}()
+	}
+	need, failed := dp.quorum(), 0
+	best := make([]uint64, dp.n)
+	bestSeq := make([]uint64, dp.n)
+	for got := 0; got < need; {
+		r := <-ch
+		if r.err != nil {
+			failed++
+			if failed > len(dp.disks)-need {
+				return nil, ErrNoQuorum
+			}
+			continue
+		}
+		got++
+		for p := 0; p < dp.n; p++ {
+			if r.seqs[p] >= bestSeq[p] {
+				bestSeq[p], best[p] = r.seqs[p], r.vals[p]
+			}
+		}
+	}
+	return best, nil
+}
+
+// checkCommit polls the commit blocks; ok reports whether some process
+// has published a decision.
+func (dp *DiskPaxos) checkCommit(reader int) (uint16, bool, error) {
+	for p := 0; p < dp.n; p++ {
+		// One fresh copy suffices: the commit flag is only ever written
+		// after a decision, so any disk holding it is proof.
+		ch := make(chan uint64, len(dp.disks))
+		for _, d := range dp.disks {
+			d := d
+			go func() {
+				_, val, err := d.ReadBlock(dp.commitName(p))
+				if err != nil {
+					ch <- 0
+					return
+				}
+				ch <- val
+			}()
+		}
+		for i := 0; i < len(dp.disks); i++ {
+			if v := <-ch; v>>16 != 0 { // committed flag in bit 16
+				return uint16(v & dpValMask), true, nil
+			}
+		}
+	}
+	return 0, false, nil
+}
+
+// ProposeConfig tunes a Propose call.
+type ProposeConfig struct {
+	// MaxRounds bounds the ballots attempted; default 64.
+	MaxRounds int
+	// Backoff is the pause between oracle polls while not leading;
+	// default 1ms.
+	Backoff time.Duration
+}
+
+func (c *ProposeConfig) normalize() {
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 64
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = time.Millisecond
+	}
+}
+
+// Propose runs Disk Paxos for process id with the given input, gated by
+// the omega oracle for liveness: the process only advances ballots while
+// the oracle names it leader, and otherwise polls for a published
+// decision. It blocks until a decision is known or MaxRounds ballots were
+// burned.
+func (dp *DiskPaxos) Propose(id int, input uint16, omega func() int, cfg ProposeConfig) (uint16, error) {
+	if int(input) != int(uint64(input)&dpValMask) {
+		return 0, ErrValueRange
+	}
+	if omega == nil {
+		return 0, fmt.Errorf("san: nil omega oracle")
+	}
+	cfg.normalize()
+	var ballot uint32
+	for round := 0; round < cfg.MaxRounds; round++ {
+		if v, ok, err := dp.checkCommit(id); err != nil {
+			return 0, err
+		} else if ok {
+			return v, nil
+		}
+		if omega() != id {
+			time.Sleep(cfg.Backoff)
+			continue
+		}
+		// Phase 1: claim the next ballot congruent to id.
+		blocks, err := dp.readAllMajority(id)
+		if err != nil {
+			return 0, err
+		}
+		maxM := uint32(0)
+		for _, b := range blocks {
+			if m, _, _ := unpackDBlock(b); m > maxM {
+				maxM = m
+			}
+		}
+		ballot = (maxM/uint32(dp.n)+1)*uint32(dp.n) + uint32(id) + 1
+		_, myBal, myInp := unpackDBlock(blocks[id])
+		if err := dp.writeMajority(id, dp.blockName(id), packDBlock(ballot, myBal, myInp)); err != nil {
+			return 0, err
+		}
+		blocks, err = dp.readAllMajority(id)
+		if err != nil {
+			return 0, err
+		}
+		abort := false
+		var chosen uint16
+		var maxBal uint32
+		chosen = input
+		for _, b := range blocks {
+			m, bal, inp := unpackDBlock(b)
+			if m > ballot {
+				abort = true
+			}
+			if bal > maxBal {
+				maxBal, chosen = bal, inp
+			}
+		}
+		if abort {
+			continue
+		}
+		// Phase 2: accept the chosen value under this ballot.
+		if err := dp.writeMajority(id, dp.blockName(id), packDBlock(ballot, ballot, chosen)); err != nil {
+			return 0, err
+		}
+		blocks, err = dp.readAllMajority(id)
+		if err != nil {
+			return 0, err
+		}
+		for _, b := range blocks {
+			if m, _, _ := unpackDBlock(b); m > ballot {
+				abort = true
+			}
+		}
+		if abort {
+			continue
+		}
+		// Decided: publish.
+		if err := dp.writeMajority(id, dp.commitName(id), 1<<16|uint64(chosen)); err != nil {
+			return 0, err
+		}
+		return chosen, nil
+	}
+	return 0, ErrRoundsExhausted
+}

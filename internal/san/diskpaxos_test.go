@@ -1,0 +1,151 @@
+package san
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newDP(t *testing.T, n, disks int) (*DiskPaxos, []*Disk) {
+	t.Helper()
+	ds := fastDisks(disks)
+	dp, err := NewDiskPaxos(ds, n, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp, ds
+}
+
+func TestDiskPaxosValidation(t *testing.T) {
+	if _, err := NewDiskPaxos(nil, 3, "x"); err == nil {
+		t.Error("no disks accepted")
+	}
+	if _, err := NewDiskPaxos(fastDisks(3), 0, "x"); err == nil {
+		t.Error("zero processes accepted")
+	}
+	dp, _ := newDP(t, 2, 3)
+	if _, err := dp.Propose(0, 1, nil, ProposeConfig{}); err == nil {
+		t.Error("nil oracle accepted")
+	}
+}
+
+func TestDiskPaxosStableLeaderDecides(t *testing.T) {
+	dp, _ := newDP(t, 3, 3)
+	v, err := dp.Propose(1, 111, func() int { return 1 }, ProposeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 111 {
+		t.Fatalf("decided %d, want 111", v)
+	}
+	// A follower learns the same decision.
+	v2, err := dp.Propose(2, 222, func() int { return 1 }, ProposeConfig{Backoff: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 111 {
+		t.Fatalf("follower learned %d, want 111", v2)
+	}
+}
+
+// TestDiskPaxosAgreementUnderContention: every process proposes
+// concurrently with a self-proclaiming oracle — safety must hold.
+func TestDiskPaxosAgreementUnderContention(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		dp, _ := newDP(t, 3, 5)
+		var wg sync.WaitGroup
+		results := make([]uint16, 3)
+		errs := make([]error, 3)
+		for i := 0; i < 3; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[i], errs[i] = dp.Propose(i, uint16(100+i),
+					func() int { return i }, ProposeConfig{MaxRounds: 2000})
+			}()
+		}
+		wg.Wait()
+		var decided []uint16
+		for i := 0; i < 3; i++ {
+			if errs[i] == nil {
+				decided = append(decided, results[i])
+			}
+		}
+		if len(decided) == 0 {
+			t.Fatal("nobody decided under contention")
+		}
+		for _, v := range decided {
+			if v != decided[0] {
+				t.Fatalf("agreement violated: %v", decided)
+			}
+			if v < 100 || v > 102 {
+				t.Fatalf("validity violated: %d", v)
+			}
+		}
+	}
+}
+
+func TestDiskPaxosSurvivesMinorityDiskCrash(t *testing.T) {
+	dp, ds := newDP(t, 3, 5)
+	ds[0].Crash()
+	ds[1].Crash()
+	v, err := dp.Propose(0, 77, func() int { return 0 }, ProposeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 77 {
+		t.Fatalf("decided %d", v)
+	}
+}
+
+func TestDiskPaxosQuorumLoss(t *testing.T) {
+	dp, ds := newDP(t, 2, 3)
+	for _, d := range ds {
+		d.Crash()
+	}
+	_, err := dp.Propose(0, 1, func() int { return 0 }, ProposeConfig{})
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestDiskPaxosValueRange(t *testing.T) {
+	// All uint16 values are representable; the packing must round-trip
+	// the extremes.
+	for _, v := range []uint16{0, 1, 1<<16 - 1} {
+		m, b, inp := unpackDBlock(packDBlock(1<<24-1, 12345, v))
+		if m != 1<<24-1 || b != 12345 || inp != v {
+			t.Fatalf("roundtrip (%d,%d,%d)", m, b, inp)
+		}
+	}
+}
+
+func TestDiskPaxosRoundsExhausted(t *testing.T) {
+	dp, _ := newDP(t, 2, 3)
+	// The oracle never names this process and nobody else proposes.
+	_, err := dp.Propose(0, 5, func() int { return 1 },
+		ProposeConfig{MaxRounds: 3, Backoff: time.Microsecond})
+	if !errors.Is(err, ErrRoundsExhausted) {
+		t.Fatalf("err = %v, want ErrRoundsExhausted", err)
+	}
+}
+
+// TestDiskPaxosValueAdoption: a proposer that wrote an accepted value and
+// stopped must have its value adopted by the next ballot.
+func TestDiskPaxosValueAdoption(t *testing.T) {
+	dp, _ := newDP(t, 3, 3)
+	// Process 0 accepts (bal=b0, inp=55) but "crashes" before committing:
+	// simulate by doing its phase writes manually.
+	if err := dp.writeMajority(0, dp.blockName(0), packDBlock(1, 1, 55)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := dp.Propose(1, 99, func() int { return 1 }, ProposeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 55 {
+		t.Fatalf("decided %d; must adopt the possibly-chosen 55", v)
+	}
+}

@@ -1,0 +1,277 @@
+// Package san simulates the deployment the paper motivates in its
+// introduction: "distributed systems made up of computers that communicate
+// through a network of attached disks ... a storage area network (SAN)
+// that implements a shared memory abstraction" (paper Section 1, with
+// references [1], [4], [10], [18]).
+//
+// We do not have a hardware SAN; the substitution (recorded in DESIGN.md)
+// is a set of simulated network-attached disks with seeded, heavy-tailed
+// access latency and crash faults. A shared register is replicated across
+// all disks and accessed with the classic single-writer quorum discipline:
+//
+//   - Write: tag the value with the writer's monotone sequence number,
+//     write to every disk, return once a majority acknowledged.
+//   - Read: read from a majority, return the value with the highest
+//     sequence number.
+//
+// With a single writer per register (the paper's 1WnR model) this yields
+// regular register semantics, which suffices for the Omega algorithms: the
+// proofs only need that a read sees either the latest completed write or
+// the value of an overlapping one, both of which keep the PROGRESS /
+// handshake freshness arguments intact. Disk crashes below a majority are
+// masked; the substrate surfaces ErrNoQuorum if too many disks fail.
+//
+// DiskMem implements shmem.Mem, so the core algorithms run over the SAN
+// unchanged — this is the live-runtime (goroutine) substrate used by the
+// sanpaxos example and the T6 experiment.
+package san
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"omegasm/internal/shmem"
+)
+
+// ErrNoQuorum is returned (via panic recovery in Reg, see below) when a
+// majority of disks is unreachable. The experiments keep disk failures
+// below a majority; breaching it is a configuration error.
+var ErrNoQuorum = errors.New("san: majority of disks unreachable")
+
+// ErrCrashed is returned by operations on a crashed disk.
+var ErrCrashed = errors.New("san: disk crashed")
+
+// Latency draws per-operation disk latencies.
+type Latency struct {
+	Base   time.Duration // minimum latency
+	Jitter time.Duration // uniform extra
+	SpikeP float64       // probability of a spike
+	Spike  time.Duration // spike magnitude (uniform up to)
+}
+
+func (l Latency) draw(rng *rand.Rand) time.Duration {
+	d := l.Base
+	if l.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(l.Jitter) + 1))
+	}
+	if l.SpikeP > 0 && rng.Float64() < l.SpikeP {
+		d += time.Duration(rng.Int63n(int64(l.Spike) + 1))
+	}
+	return d
+}
+
+// Disk is one simulated network-attached disk: a block store keyed by
+// register name, with latency and crash faults.
+type Disk struct {
+	mu      sync.Mutex
+	blocks  map[string]block
+	crashed bool
+	lat     Latency
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+}
+
+type block struct {
+	seq uint64
+	val uint64
+}
+
+// NewDisk creates a disk with the given latency model and seed.
+func NewDisk(lat Latency, seed int64) *Disk {
+	return &Disk{
+		blocks: make(map[string]block),
+		lat:    lat,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (d *Disk) sleep() {
+	d.rngMu.Lock()
+	dur := d.lat.draw(d.rng)
+	d.rngMu.Unlock()
+	if dur > 0 {
+		time.Sleep(dur)
+	}
+}
+
+// Crash fails the disk permanently; subsequent operations error.
+func (d *Disk) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashed = true
+}
+
+// Crashed reports whether the disk has failed.
+func (d *Disk) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// ReadBlock returns the block's (seq, value), after the disk's latency.
+func (d *Disk) ReadBlock(name string) (seq, val uint64, err error) {
+	d.sleep()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return 0, 0, ErrCrashed
+	}
+	b := d.blocks[name]
+	return b.seq, b.val, nil
+}
+
+// WriteBlock stores (seq, value) if seq is newer, after the disk's
+// latency. Stale writes are ignored, which makes retries idempotent.
+func (d *Disk) WriteBlock(name string, seq, val uint64) error {
+	d.sleep()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	if b, ok := d.blocks[name]; !ok || seq > b.seq {
+		d.blocks[name] = block{seq: seq, val: val}
+	}
+	return nil
+}
+
+// DiskMem is a shared memory replicated over a set of disks.
+type DiskMem struct {
+	disks  []*Disk
+	census *shmem.Census
+}
+
+var _ shmem.Mem = (*DiskMem)(nil)
+
+// NewDiskMem builds a replicated memory for n processes over the disks.
+// len(disks) should be odd; a majority must stay alive.
+func NewDiskMem(n int, disks []*Disk) (*DiskMem, error) {
+	if len(disks) < 1 {
+		return nil, fmt.Errorf("san: need at least one disk")
+	}
+	return &DiskMem{
+		disks:  disks,
+		census: shmem.NewCensus(n, nil),
+	}, nil
+}
+
+// Word allocates a disk-replicated register.
+func (m *DiskMem) Word(owner int, class string, idx ...int) shmem.Reg {
+	name := shmem.RegName(class, idx...)
+	return &sanReg{
+		mem:   m,
+		owner: owner,
+		name:  name,
+		stats: m.census.Track(class, name, owner),
+	}
+}
+
+// Census returns the (process-level) access census.
+func (m *DiskMem) Census() *shmem.Census { return m.census }
+
+// Quorum returns the majority size.
+func (m *DiskMem) Quorum() int { return len(m.disks)/2 + 1 }
+
+// sanReg is one replicated register. The single writer's sequence number
+// lives in writerSeq; readers never write.
+type sanReg struct {
+	mem       *DiskMem
+	owner     int
+	name      string
+	stats     *shmem.RegStats
+	writerSeq uint64 // guarded by seqMu; only the owner increments
+	seqMu     sync.Mutex
+
+	// readCache holds the highest (seq, val) this register handle has
+	// ever returned, so reads are monotone per handle even if quorums
+	// answer out of order.
+	cacheMu   sync.Mutex
+	cacheSeq  uint64
+	cacheVal  uint64
+	cacheInit bool
+}
+
+var _ shmem.Reg = (*sanReg)(nil)
+
+func (r *sanReg) Owner() int   { return r.owner }
+func (r *sanReg) Name() string { return r.name }
+
+// Read implements shmem.Reg: majority read, highest sequence wins.
+// It panics with ErrNoQuorum if a majority of disks has crashed — the
+// register abstraction has no error channel, and losing the quorum is a
+// configuration breach in every experiment that uses the SAN.
+func (r *sanReg) Read(pid int) uint64 {
+	type resp struct {
+		seq, val uint64
+		err      error
+	}
+	ch := make(chan resp, len(r.mem.disks))
+	for _, d := range r.mem.disks {
+		d := d
+		go func() {
+			s, v, err := d.ReadBlock(r.name)
+			ch <- resp{s, v, err}
+		}()
+	}
+	need := r.mem.Quorum()
+	got, failed := 0, 0
+	var bestSeq, bestVal uint64
+	for got < need {
+		rp := <-ch
+		if rp.err != nil {
+			failed++
+			if failed > len(r.mem.disks)-need {
+				panic(ErrNoQuorum)
+			}
+			continue
+		}
+		got++
+		if rp.seq >= bestSeq {
+			bestSeq, bestVal = rp.seq, rp.val
+		}
+	}
+	r.cacheMu.Lock()
+	if !r.cacheInit || bestSeq > r.cacheSeq {
+		r.cacheSeq, r.cacheVal, r.cacheInit = bestSeq, bestVal, true
+	} else {
+		bestVal = r.cacheVal
+	}
+	r.cacheMu.Unlock()
+	r.mem.census.NoteRead(r.stats, pid)
+	return bestVal
+}
+
+// Write implements shmem.Reg: tag with the next sequence number, write to
+// all disks, return after a majority acknowledged. Panics with ErrNoQuorum
+// when a majority of disks has crashed (see Read).
+func (r *sanReg) Write(pid int, v uint64) {
+	if r.owner != shmem.MultiWriter && pid != r.owner {
+		panic(fmt.Sprintf("san: process %d wrote 1WnR register %s owned by %d", pid, r.name, r.owner))
+	}
+	r.seqMu.Lock()
+	r.writerSeq++
+	seq := r.writerSeq
+	r.seqMu.Unlock()
+
+	ch := make(chan error, len(r.mem.disks))
+	for _, d := range r.mem.disks {
+		d := d
+		go func() { ch <- d.WriteBlock(r.name, seq, v) }()
+	}
+	need := r.mem.Quorum()
+	got, failed := 0, 0
+	for got < need {
+		if err := <-ch; err != nil {
+			failed++
+			if failed > len(r.mem.disks)-need {
+				panic(ErrNoQuorum)
+			}
+			continue
+		}
+		got++
+	}
+	r.mem.census.NoteWrite(r.stats, pid, v)
+}

@@ -1,0 +1,204 @@
+package san
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"omegasm/internal/shmem"
+)
+
+func fastDisks(n int) []*Disk {
+	ds := make([]*Disk, n)
+	for i := range ds {
+		ds[i] = NewDisk(Latency{}, int64(i+1)) // zero latency for unit tests
+	}
+	return ds
+}
+
+func newMem(t *testing.T, nProc, nDisk int) (*DiskMem, []*Disk) {
+	t.Helper()
+	ds := fastDisks(nDisk)
+	m, err := NewDiskMem(nProc, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ds
+}
+
+func TestDiskMemValidation(t *testing.T) {
+	if _, err := NewDiskMem(2, nil); err == nil {
+		t.Error("zero disks accepted")
+	}
+}
+
+func TestQuorumSize(t *testing.T) {
+	for _, tc := range []struct{ disks, want int }{{1, 1}, {3, 2}, {5, 3}, {4, 3}} {
+		m, _ := newMem(t, 2, tc.disks)
+		if got := m.Quorum(); got != tc.want {
+			t.Errorf("Quorum(%d disks) = %d, want %d", tc.disks, got, tc.want)
+		}
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	m, _ := newMem(t, 2, 3)
+	r := m.Word(0, "PROGRESS", 0)
+	if got := r.Read(1); got != 0 {
+		t.Fatalf("fresh register = %d", got)
+	}
+	for v := uint64(1); v <= 20; v++ {
+		r.Write(0, v)
+		if got := r.Read(1); got != v {
+			t.Fatalf("read %d after writing %d", got, v)
+		}
+	}
+}
+
+func TestOwnershipEnforced(t *testing.T) {
+	m, _ := newMem(t, 2, 3)
+	r := m.Word(0, "STOP", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-owner write must panic")
+		}
+	}()
+	r.Write(1, 1)
+}
+
+func TestMinorityDiskCrashMasked(t *testing.T) {
+	m, ds := newMem(t, 2, 5)
+	r := m.Word(0, "PROGRESS", 0)
+	r.Write(0, 10)
+	ds[0].Crash()
+	ds[1].Crash()
+	r.Write(0, 11) // quorum 3 of the surviving 3
+	if got := r.Read(1); got != 11 {
+		t.Fatalf("read %d with 2/5 disks down, want 11", got)
+	}
+	if !ds[0].Crashed() || ds[2].Crashed() {
+		t.Error("Crashed() bookkeeping wrong")
+	}
+}
+
+func TestMajorityLossPanicsNoQuorum(t *testing.T) {
+	m, ds := newMem(t, 2, 3)
+	r := m.Word(0, "PROGRESS", 0)
+	r.Write(0, 1)
+	ds[0].Crash()
+	ds[1].Crash()
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("quorum loss must panic")
+		}
+		err, ok := rec.(error)
+		if !ok || !errors.Is(err, ErrNoQuorum) {
+			t.Fatalf("panic value %v, want ErrNoQuorum", rec)
+		}
+	}()
+	r.Read(1)
+}
+
+// TestReadsMonotonePerHandle: the per-handle cache must prevent a reader
+// from observing an older value after a newer one (the single-writer
+// regular-register guarantee the Omega proofs rely on).
+func TestReadsMonotonePerHandle(t *testing.T) {
+	m, _ := newMem(t, 3, 5)
+	r := m.Word(0, "PROGRESS", 0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := uint64(1); v <= 500; v++ {
+			r.Write(0, v)
+		}
+		close(stop)
+	}()
+	for reader := 1; reader <= 2; reader++ {
+		reader := reader
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := r.Read(reader)
+				if v < last {
+					t.Errorf("reader %d went backwards: %d after %d", reader, v, last)
+					return
+				}
+				last = v
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStaleWriteIgnoredByDisk(t *testing.T) {
+	d := NewDisk(Latency{}, 1)
+	if err := d.WriteBlock("x", 5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteBlock("x", 3, 30); err != nil { // stale retry
+		t.Fatal(err)
+	}
+	seq, val, err := d.ReadBlock("x")
+	if err != nil || seq != 5 || val != 50 {
+		t.Fatalf("got (%d,%d,%v), want (5,50,nil)", seq, val, err)
+	}
+}
+
+func TestCrashedDiskErrors(t *testing.T) {
+	d := NewDisk(Latency{}, 1)
+	d.Crash()
+	if _, _, err := d.ReadBlock("x"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("ReadBlock on crashed disk: %v", err)
+	}
+	if err := d.WriteBlock("x", 1, 1); !errors.Is(err, ErrCrashed) {
+		t.Errorf("WriteBlock on crashed disk: %v", err)
+	}
+}
+
+func TestLatencyDrawBounds(t *testing.T) {
+	d := NewDisk(Latency{
+		Base:   time.Millisecond,
+		Jitter: time.Millisecond,
+		SpikeP: 1.0,
+		Spike:  2 * time.Millisecond,
+	}, 1)
+	start := time.Now()
+	if _, _, err := d.ReadBlock("x"); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < time.Millisecond {
+		t.Errorf("latency %v below Base", elapsed)
+	}
+	if elapsed > 50*time.Millisecond {
+		t.Errorf("latency %v wildly above Base+Jitter+Spike", elapsed)
+	}
+}
+
+func TestCensusAttribution(t *testing.T) {
+	m, _ := newMem(t, 3, 3)
+	r := m.Word(0, "PROGRESS", 0)
+	r.Write(0, 1)
+	r.Read(2)
+	snap := m.Census().Snapshot()
+	rs := snap.Regs["PROGRESS[0]"]
+	if rs.WritesBy[0] != 1 || rs.ReadsBy[2] != 1 {
+		t.Errorf("census writes=%v reads=%v", rs.WritesBy, rs.ReadsBy)
+	}
+}
+
+// TestMemInterfaceCompliance pins the shmem.Mem contract.
+func TestMemInterfaceCompliance(t *testing.T) {
+	var _ shmem.Mem = (*DiskMem)(nil)
+}

@@ -1,0 +1,80 @@
+package sched_test
+
+import (
+	"testing"
+
+	"omegasm/internal/core"
+	"omegasm/internal/sched"
+	"omegasm/internal/shmem"
+	"omegasm/internal/trace"
+	"omegasm/internal/vclock"
+)
+
+// TestSmokeAlgo1Elects is the stack's end-to-end sanity check: Algorithm 1
+// under a default AWB run must stabilize on a single correct leader. (The
+// identity of the winner is run-dependent: startup suspicions accrued
+// before the timers settle decide the lexmin.)
+func TestSmokeAlgo1Elects(t *testing.T) {
+	n := 5
+	mem := shmem.NewSimMem(n)
+	procs := core.BuildAlgo1(mem, n)
+	ps := make([]sched.Process, n)
+	for i, p := range procs {
+		ps[i] = p
+	}
+	cfg := sched.Config{
+		N:       n,
+		Seed:    1,
+		Horizon: 200_000,
+		AWBProc: 0,
+		Tau1:    1_000,
+		Delta:   8,
+	}
+	w, err := sched.NewWorld(cfg, ps, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	st, leader, ok := trace.Stabilization(res.Samples, res.Crashed)
+	if !ok {
+		t.Fatalf("no stabilization; last sample %+v", res.Samples[len(res.Samples)-1])
+	}
+	t.Logf("stabilized at t=%d on leader %d (end=%d)", st, leader, res.End)
+	if leader < 0 || leader >= n || res.Crashed[leader] {
+		t.Errorf("leader = %d, want a correct process id", leader)
+	}
+}
+
+// TestSmokeAlgo1CrashRecovery crashes the initial leader mid-run; the
+// survivors must converge on a correct leader.
+func TestSmokeAlgo1CrashRecovery(t *testing.T) {
+	n := 5
+	mem := shmem.NewSimMem(n)
+	procs := core.BuildAlgo1(mem, n)
+	ps := make([]sched.Process, n)
+	for i, p := range procs {
+		ps[i] = p
+	}
+	cfg := sched.Config{
+		N:       n,
+		Seed:    7,
+		Horizon: 400_000,
+		AWBProc: 1,
+		Tau1:    1_000,
+		Delta:   8,
+		Crash:   map[int]vclock.Time{0: 50_000},
+	}
+	w, err := sched.NewWorld(cfg, ps, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	st, leader, ok := trace.Stabilization(res.Samples, res.Crashed)
+	if !ok {
+		t.Fatalf("no stabilization after crash")
+	}
+	t.Logf("stabilized at t=%d on leader %d", st, leader)
+	if leader == 0 {
+		t.Errorf("elected the crashed process 0")
+	}
+}

@@ -1,0 +1,386 @@
+// Package sched is the deterministic simulation runtime: an event-driven
+// scheduler over virtual time that generates exactly the run class the
+// paper's theorems quantify over.
+//
+// A run of AS[n, AWB] is an interleaving of process steps in which (1)
+// every correct process takes infinitely many steps with finite — but
+// unbounded — gaps, (2) after some unknown time tau_1 one correct process
+// p_ell has its consecutive critical-register accesses separated by at
+// most delta ticks (AWB1), and (3) the timers of the other correct
+// processes are asymptotically well-behaved (AWB2, see package vclock).
+//
+// The scheduler serializes all process steps on the caller's goroutine, so
+// the SimMem registers are linearized in scheduler order; the seeded
+// adversary (Pacing per process) chooses the interleaving. Crashes are
+// injected at configured times by permanently descheduling the process.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"omegasm/internal/shmem"
+	"omegasm/internal/vclock"
+)
+
+// Process is one algorithm process as seen by the scheduler. The three
+// methods correspond to the paper's three tasks: Leader is task T1 (the
+// oracle query), Step is one iteration of task T2's infinite loop, and
+// OnTimer is the body of task T3, returning the value the timer is re-set
+// to (paper line 27).
+type Process interface {
+	// Step executes one iteration of the process's main loop at virtual
+	// time now.
+	Step(now vclock.Time)
+	// OnTimer executes the timer-expiry handler at virtual time now and
+	// returns the next timeout value x (the timer is then re-armed to
+	// expire after the process's Behavior maps x to a duration).
+	OnTimer(now vclock.Time) (next uint64)
+	// Leader returns the process's current leader estimate (task T1).
+	Leader() int
+}
+
+// Config parameterizes one simulated run.
+type Config struct {
+	N       int
+	Seed    int64
+	Horizon vclock.Time
+	// SampleEvery is the observation period for leader estimates;
+	// default 64 ticks.
+	SampleEvery vclock.Duration
+	// AWBProc designates p_ell for AWB1 pacing enforcement (-1 disables:
+	// the run then need not satisfy AWB1 unless the Pacing does).
+	AWBProc int
+	// Tau1 is the time from which AWB1 pacing is enforced for AWBProc.
+	Tau1 vclock.Time
+	// Delta is the AWB1 bound: after Tau1, AWBProc's inter-step gap is
+	// clamped to at most Delta ticks.
+	Delta vclock.Duration
+	// Pacing holds the per-process step adversary; nil entries default to
+	// Uniform{1, 8}.
+	Pacing []Pacing
+	// Timers holds the per-process timer behavior; nil entries default to
+	// Exact{Scale: 4, Floor: 1}.
+	Timers []vclock.Behavior
+	// Crash maps pid -> crash time. Processes not present never crash.
+	Crash map[int]vclock.Time
+	// InitialTimeout is the value each process's timer is first set to;
+	// default 1.
+	InitialTimeout uint64
+}
+
+func (c *Config) normalize() error {
+	if c.N < 2 {
+		return fmt.Errorf("sched: need at least 2 processes, got %d", c.N)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("sched: horizon must be positive, got %d", c.Horizon)
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 64
+	}
+	if c.Delta <= 0 {
+		c.Delta = 8
+	}
+	if c.InitialTimeout == 0 {
+		c.InitialTimeout = 1
+	}
+	if c.Pacing == nil {
+		c.Pacing = make([]Pacing, c.N)
+	}
+	if len(c.Pacing) != c.N {
+		return fmt.Errorf("sched: len(Pacing)=%d, want %d", len(c.Pacing), c.N)
+	}
+	for i, p := range c.Pacing {
+		if p == nil {
+			c.Pacing[i] = Uniform{Min: 1, Max: 8}
+		}
+	}
+	if c.Timers == nil {
+		c.Timers = make([]vclock.Behavior, c.N)
+	}
+	if len(c.Timers) != c.N {
+		return fmt.Errorf("sched: len(Timers)=%d, want %d", len(c.Timers), c.N)
+	}
+	for i, b := range c.Timers {
+		if b == nil {
+			c.Timers[i] = vclock.Exact{Scale: 4, Floor: 1}
+		}
+	}
+	if c.AWBProc >= c.N {
+		return fmt.Errorf("sched: AWBProc=%d out of range for n=%d", c.AWBProc, c.N)
+	}
+	if ct, ok := c.Crash[c.AWBProc]; ok && c.AWBProc >= 0 {
+		return fmt.Errorf("sched: AWBProc %d is scheduled to crash at %d; AWB1 requires a correct process", c.AWBProc, ct)
+	}
+	return nil
+}
+
+// Sample is one observation of every process's leader estimate.
+// Leaders[p] is -1 if p had crashed by time T.
+type Sample struct {
+	T       vclock.Time
+	Leaders []int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Samples []Sample
+	Crashed []bool
+	// CrashTime[p] is the crash time or -1.
+	CrashTime []vclock.Time
+	End       vclock.Time
+	// Steps[p] counts T2 iterations executed by p.
+	Steps []uint64
+	// TimerFirings[p] counts T3 executions by p.
+	TimerFirings []uint64
+}
+
+// Correct reports whether p did not crash in the run.
+func (r *Result) Correct(p int) bool { return !r.Crashed[p] }
+
+// World is one simulated run in progress.
+type World struct {
+	cfg   Config
+	procs []Process
+	rng   *rand.Rand
+	now   vclock.Time
+	queue eventQueue
+	seq   uint64
+
+	crashed  []bool
+	res      *Result
+	hooks    []Hook
+	stopped  bool
+	stopTime vclock.Time
+
+	aux       []Stepper
+	auxPacing []Pacing
+}
+
+// Stepper is an auxiliary state machine co-scheduled with the oracle
+// processes but not sampled and not subject to timers — e.g. consensus
+// proposers running on top of the elected leader (experiment T6).
+type Stepper interface {
+	Step(now vclock.Time)
+}
+
+// Hook observes the run as it unfolds. Hooks may stop the run early.
+type Hook interface {
+	// OnSample is called at every observation point.
+	OnSample(w *World, s Sample)
+}
+
+// HookFunc adapts a function to the Hook interface.
+type HookFunc func(w *World, s Sample)
+
+// OnSample implements Hook.
+func (f HookFunc) OnSample(w *World, s Sample) { f(w, s) }
+
+// NewWorld validates cfg and builds a run over the given processes and
+// memory. The memory's census is re-clocked to virtual time.
+func NewWorld(cfg Config, procs []Process, mem shmem.Mem) (*World, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(procs) != cfg.N {
+		return nil, fmt.Errorf("sched: %d processes for n=%d", len(procs), cfg.N)
+	}
+	w := &World{
+		cfg:     cfg,
+		procs:   procs,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		crashed: make([]bool, cfg.N),
+		res: &Result{
+			Crashed:      make([]bool, cfg.N),
+			CrashTime:    make([]vclock.Time, cfg.N),
+			Steps:        make([]uint64, cfg.N),
+			TimerFirings: make([]uint64, cfg.N),
+		},
+	}
+	for p := range w.res.CrashTime {
+		w.res.CrashTime[p] = -1
+	}
+	if c := mem.Census(); c != nil {
+		c.SetClock(func() int64 { return w.now })
+	}
+	return w, nil
+}
+
+// AddHook registers an observation hook; call before Run.
+func (w *World) AddHook(h Hook) { w.hooks = append(w.hooks, h) }
+
+// AddAux co-schedules an auxiliary stepper with its own pacing (nil means
+// Uniform{1,8}). Call before Run. Auxiliary steppers never crash and take
+// steps until the run ends.
+func (w *World) AddAux(s Stepper, p Pacing) {
+	if p == nil {
+		p = Uniform{Min: 1, Max: 8}
+	}
+	w.aux = append(w.aux, s)
+	w.auxPacing = append(w.auxPacing, p)
+}
+
+// Now returns the current virtual time.
+func (w *World) Now() vclock.Time { return w.now }
+
+// Stop ends the run after the current event; used by hooks that have seen
+// enough (e.g. stabilization detectors in benchmarks).
+func (w *World) Stop() {
+	if !w.stopped {
+		w.stopped = true
+		w.stopTime = w.now
+	}
+}
+
+// Rng exposes the run's seeded randomness source (for hooks that perturb
+// the run deterministically).
+func (w *World) Rng() *rand.Rand { return w.rng }
+
+type evKind int
+
+const (
+	evStep evKind = iota + 1
+	evTimer
+	evSample
+	evAux
+)
+
+type event struct {
+	at   vclock.Time
+	seq  uint64
+	kind evKind
+	pid  int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+func (w *World) push(at vclock.Time, kind evKind, pid int) {
+	w.seq++
+	heap.Push(&w.queue, event{at: at, seq: w.seq, kind: kind, pid: pid})
+}
+
+func (w *World) stepDelay(pid int) vclock.Duration {
+	d := w.cfg.Pacing[pid].Next(w.rng, w.now)
+	if d < 1 {
+		d = 1
+	}
+	// AWB1 enforcement: after tau_1 the designated process's consecutive
+	// steps — and hence its consecutive critical-register accesses, which
+	// happen within steps — are at most Delta apart.
+	if pid == w.cfg.AWBProc && w.now >= w.cfg.Tau1 && d > w.cfg.Delta {
+		d = w.cfg.Delta
+	}
+	return d
+}
+
+func (w *World) crashTimeOf(pid int) (vclock.Time, bool) {
+	t, ok := w.cfg.Crash[pid]
+	return t, ok
+}
+
+// Run executes the simulation until the horizon (or an early Stop) and
+// returns the result. Run may be called once.
+func (w *World) Run() *Result {
+	heap.Init(&w.queue)
+	for p := 0; p < w.cfg.N; p++ {
+		w.push(w.stepDelay(p), evStep, p)
+		d := w.cfg.Timers[p].Expire(0, w.cfg.InitialTimeout)
+		w.push(d, evTimer, p)
+	}
+	w.push(w.cfg.SampleEvery, evSample, -1)
+	for a := range w.aux {
+		w.push(w.auxPacing[a].Next(w.rng, 0), evAux, a)
+	}
+
+	for w.queue.Len() > 0 && !w.stopped {
+		e := heap.Pop(&w.queue).(event)
+		if e.at > w.cfg.Horizon {
+			break
+		}
+		w.now = e.at
+		switch e.kind {
+		case evSample:
+			w.sample()
+			w.push(w.now+w.cfg.SampleEvery, evSample, -1)
+		case evAux:
+			w.aux[e.pid].Step(w.now)
+			d := w.auxPacing[e.pid].Next(w.rng, w.now)
+			if d < 1 {
+				d = 1
+			}
+			w.push(w.now+d, evAux, e.pid)
+		case evStep, evTimer:
+			if w.crashed[e.pid] {
+				continue
+			}
+			if ct, ok := w.crashTimeOf(e.pid); ok && e.at >= ct {
+				w.crashed[e.pid] = true
+				w.res.Crashed[e.pid] = true
+				w.res.CrashTime[e.pid] = ct
+				continue
+			}
+			if e.kind == evStep {
+				w.procs[e.pid].Step(w.now)
+				w.res.Steps[e.pid]++
+				w.push(w.now+w.stepDelay(e.pid), evStep, e.pid)
+			} else {
+				x := w.procs[e.pid].OnTimer(w.now)
+				w.res.TimerFirings[e.pid]++
+				// x == 0 means "do not re-arm" (the timer-free variant of
+				// paper Section 3.5 drives its checks from task T2).
+				if x > 0 {
+					d := w.cfg.Timers[e.pid].Expire(w.now, x)
+					if d < 1 {
+						d = 1
+					}
+					w.push(w.now+d, evTimer, e.pid)
+				}
+			}
+		}
+	}
+	// Final observation so callers always see the end state.
+	w.sample()
+	w.res.End = w.now
+	return w.res
+}
+
+func (w *World) sample() {
+	s := Sample{T: w.now, Leaders: make([]int, w.cfg.N)}
+	for p := 0; p < w.cfg.N; p++ {
+		// A process that reached its crash time is reported crashed even
+		// if no event has collected it yet.
+		if ct, ok := w.crashTimeOf(p); (ok && w.now >= ct) || w.crashed[p] {
+			if ok && w.now >= ct && !w.crashed[p] {
+				w.crashed[p] = true
+				w.res.Crashed[p] = true
+				w.res.CrashTime[p] = ct
+			}
+			s.Leaders[p] = -1
+			continue
+		}
+		s.Leaders[p] = w.procs[p].Leader()
+	}
+	w.res.Samples = append(w.res.Samples, s)
+	for _, h := range w.hooks {
+		h.OnSample(w, s)
+	}
+}

@@ -1,0 +1,262 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"omegasm/internal/shmem"
+	"omegasm/internal/vclock"
+)
+
+// fakeProc records the virtual times at which it was stepped and fired.
+type fakeProc struct {
+	id        int
+	stepTimes []vclock.Time
+	fireTimes []vclock.Time
+	nextX     uint64 // returned by OnTimer; 0 disarms
+}
+
+func (p *fakeProc) Step(now vclock.Time) { p.stepTimes = append(p.stepTimes, now) }
+func (p *fakeProc) OnTimer(now vclock.Time) uint64 {
+	p.fireTimes = append(p.fireTimes, now)
+	return p.nextX
+}
+func (p *fakeProc) Leader() int { return p.id }
+
+func fakeWorld(t *testing.T, cfg Config, xs ...uint64) (*World, []*fakeProc) {
+	t.Helper()
+	procs := make([]Process, cfg.N)
+	fakes := make([]*fakeProc, cfg.N)
+	for i := range procs {
+		x := uint64(1)
+		if i < len(xs) {
+			x = xs[i]
+		}
+		fakes[i] = &fakeProc{id: i, nextX: x}
+		procs[i] = fakes[i]
+	}
+	mem := shmem.NewSimMem(cfg.N)
+	w, err := NewWorld(cfg, procs, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, fakes
+}
+
+func TestConfigValidation(t *testing.T) {
+	mem := shmem.NewSimMem(2)
+	mk := func(cfg Config, n int) error {
+		procs := make([]Process, n)
+		for i := range procs {
+			procs[i] = &fakeProc{id: i, nextX: 1}
+		}
+		_, err := NewWorld(cfg, procs, mem)
+		return err
+	}
+	if err := mk(Config{N: 1, Horizon: 10}, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if err := mk(Config{N: 2, Horizon: 0}, 2); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if err := mk(Config{N: 2, Horizon: 10}, 3); err == nil {
+		t.Error("proc count mismatch accepted")
+	}
+	if err := mk(Config{N: 2, Horizon: 10, AWBProc: 5}, 2); err == nil {
+		t.Error("AWBProc out of range accepted")
+	}
+	if err := mk(Config{N: 2, Horizon: 10, AWBProc: 0,
+		Crash: map[int]vclock.Time{0: 5}}, 2); err == nil {
+		t.Error("crashing the AWB1 process accepted")
+	}
+	if err := mk(Config{N: 2, Horizon: 10, Pacing: make([]Pacing, 1)}, 2); err == nil {
+		t.Error("wrong Pacing length accepted")
+	}
+	if err := mk(Config{N: 2, Horizon: 10, Timers: make([]vclock.Behavior, 5)}, 2); err == nil {
+		t.Error("wrong Timers length accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) ([]Sample, []vclock.Time) {
+		w, fakes := fakeWorld(t, Config{N: 3, Seed: seed, Horizon: 5000, AWBProc: -1})
+		res := w.Run()
+		return res.Samples, fakes[0].stepTimes
+	}
+	aSamples, aSteps := run(99)
+	bSamples, bSteps := run(99)
+	if !reflect.DeepEqual(aSamples, bSamples) || !reflect.DeepEqual(aSteps, bSteps) {
+		t.Fatal("same seed produced different runs")
+	}
+	// Different seeds must draw different interleavings (observable via
+	// the step times; the sample times are fixed by SampleEvery).
+	_, cSteps := run(100)
+	if reflect.DeepEqual(aSteps, cSteps) {
+		t.Fatal("different seeds produced identical step schedules (suspicious)")
+	}
+}
+
+func TestCrashStopsProcess(t *testing.T) {
+	w, fakes := fakeWorld(t, Config{
+		N: 2, Seed: 1, Horizon: 10_000, AWBProc: -1,
+		Crash: map[int]vclock.Time{1: 2_000},
+	})
+	res := w.Run()
+	if !res.Crashed[1] || res.Crashed[0] {
+		t.Fatalf("Crashed = %v", res.Crashed)
+	}
+	if res.CrashTime[1] != 2_000 || res.CrashTime[0] != -1 {
+		t.Fatalf("CrashTime = %v", res.CrashTime)
+	}
+	for _, ts := range fakes[1].stepTimes {
+		if ts >= 2_000 {
+			t.Fatalf("crashed process stepped at t=%d", ts)
+		}
+	}
+	for _, ts := range fakes[1].fireTimes {
+		if ts >= 2_000 {
+			t.Fatalf("crashed process fired at t=%d", ts)
+		}
+	}
+	// Samples report -1 for the crashed process afterwards.
+	last := res.Samples[len(res.Samples)-1]
+	if last.Leaders[1] != -1 {
+		t.Errorf("crashed process sampled as %d", last.Leaders[1])
+	}
+	if last.Leaders[0] != 0 {
+		t.Errorf("live process sampled as %d", last.Leaders[0])
+	}
+}
+
+func TestAWBClampBoundsGaps(t *testing.T) {
+	// Process 0 has a pathologically slow pacing; the AWB clamp must cap
+	// its post-tau1 gaps at Delta.
+	cfg := Config{
+		N: 2, Seed: 5, Horizon: 50_000,
+		AWBProc: 0, Tau1: 10_000, Delta: 6,
+		Pacing: []Pacing{Uniform{Min: 500, Max: 900}, nil},
+	}
+	w, fakes := fakeWorld(t, cfg)
+	w.Run()
+	var prev vclock.Time = -1
+	for _, ts := range fakes[0].stepTimes {
+		if prev >= cfg.Tau1 && ts-prev > 6 {
+			t.Fatalf("AWB1 gap %d > Delta at t=%d", ts-prev, ts)
+		}
+		prev = ts
+	}
+	// Sanity: before tau1 the slow pacing really produced big gaps.
+	big := false
+	prev = -1
+	for _, ts := range fakes[0].stepTimes {
+		if ts > cfg.Tau1 {
+			break
+		}
+		if prev >= 0 && ts-prev > 6 {
+			big = true
+		}
+		prev = ts
+	}
+	if !big {
+		t.Error("test vacuous: no large pre-tau1 gaps")
+	}
+}
+
+func TestTimerRearmUsesReturnedValue(t *testing.T) {
+	// nextX = 10 with Exact{Scale 3, Floor 0} => firings 10*3=30 ticks
+	// apart (after the initial firing at Expire(0, InitialTimeout)).
+	cfg := Config{
+		N: 2, Seed: 1, Horizon: 1_000, AWBProc: -1,
+		Timers:         []vclock.Behavior{vclock.Exact{Scale: 3}, vclock.Exact{Scale: 3}},
+		InitialTimeout: 2,
+	}
+	w, fakes := fakeWorld(t, cfg, 10, 10)
+	w.Run()
+	fires := fakes[0].fireTimes
+	if len(fires) < 3 {
+		t.Fatalf("too few firings: %v", fires)
+	}
+	if fires[0] != 6 { // Expire(0, 2) = 6
+		t.Errorf("first firing at %d, want 6", fires[0])
+	}
+	for i := 1; i < len(fires); i++ {
+		if got := fires[i] - fires[i-1]; got != 30 {
+			t.Fatalf("firing gap %d, want 30 (timer must re-arm to returned x)", got)
+		}
+	}
+}
+
+func TestTimerDisarmOnZero(t *testing.T) {
+	w, fakes := fakeWorld(t, Config{N: 2, Seed: 1, Horizon: 10_000, AWBProc: -1}, 0, 1)
+	w.Run()
+	if got := len(fakes[0].fireTimes); got != 1 {
+		t.Fatalf("disarmed timer fired %d times, want exactly the initial firing", got)
+	}
+	if len(fakes[1].fireTimes) < 10 {
+		t.Errorf("armed timer fired only %d times", len(fakes[1].fireTimes))
+	}
+}
+
+func TestHookAndStop(t *testing.T) {
+	w, _ := fakeWorld(t, Config{N: 2, Seed: 1, Horizon: 1 << 40, AWBProc: -1, SampleEvery: 100})
+	calls := 0
+	w.AddHook(HookFunc(func(w *World, s Sample) {
+		calls++
+		if s.T >= 1_000 {
+			w.Stop()
+		}
+	}))
+	res := w.Run()
+	if res.End > 2_000 {
+		t.Fatalf("Stop() ignored: run ended at %d", res.End)
+	}
+	if calls == 0 {
+		t.Fatal("hook never called")
+	}
+}
+
+func TestAuxStepper(t *testing.T) {
+	w, _ := fakeWorld(t, Config{N: 2, Seed: 1, Horizon: 5_000, AWBProc: -1})
+	var auxTimes []vclock.Time
+	w.AddAux(auxFunc(func(now vclock.Time) { auxTimes = append(auxTimes, now) }), Fixed{D: 50})
+	w.Run()
+	if len(auxTimes) < 90 {
+		t.Fatalf("aux stepped %d times, want ~100", len(auxTimes))
+	}
+	for i := 1; i < len(auxTimes); i++ {
+		if auxTimes[i]-auxTimes[i-1] != 50 {
+			t.Fatalf("aux pacing not honored: gap %d", auxTimes[i]-auxTimes[i-1])
+		}
+	}
+}
+
+type auxFunc func(now vclock.Time)
+
+func (f auxFunc) Step(now vclock.Time) { f(now) }
+
+func TestStepsAndFiringsCounted(t *testing.T) {
+	w, fakes := fakeWorld(t, Config{N: 2, Seed: 1, Horizon: 5_000, AWBProc: -1})
+	res := w.Run()
+	for i, f := range fakes {
+		if res.Steps[i] != uint64(len(f.stepTimes)) {
+			t.Errorf("Steps[%d] = %d, want %d", i, res.Steps[i], len(f.stepTimes))
+		}
+		if res.TimerFirings[i] != uint64(len(f.fireTimes)) {
+			t.Errorf("TimerFirings[%d] = %d, want %d", i, res.TimerFirings[i], len(f.fireTimes))
+		}
+	}
+	if res.End < 4_900 {
+		t.Errorf("run ended early at %d", res.End)
+	}
+}
+
+func TestCorrectHelper(t *testing.T) {
+	w, _ := fakeWorld(t, Config{
+		N: 3, Seed: 1, Horizon: 5_000, AWBProc: -1,
+		Crash: map[int]vclock.Time{2: 100},
+	})
+	res := w.Run()
+	if !res.Correct(0) || res.Correct(2) {
+		t.Errorf("Correct() wrong: %v", res.Crashed)
+	}
+}

@@ -1,0 +1,86 @@
+package shmem
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// AtomicMem is the live-runtime shared memory: each register is a
+// sync/atomic word, so concurrent goroutines get exactly the atomic
+// 1WnR register semantics of the paper's model from the Go memory model's
+// sequentially consistent atomics.
+//
+// Instrumentation is optional: with counting enabled every access also
+// updates the census (which takes a mutex); production users of the public
+// API run with counting disabled and pay only the atomic load/store.
+type AtomicMem struct {
+	census *Census
+	count  bool
+	start  time.Time
+}
+
+var _ Mem = (*AtomicMem)(nil)
+
+// NewAtomicMem creates a live shared memory for n processes. When count is
+// true every access is attributed in the census (timestamped with
+// nanoseconds since creation).
+func NewAtomicMem(n int, count bool) *AtomicMem {
+	m := &AtomicMem{count: count, start: time.Now()}
+	m.census = NewCensus(n, func() int64 { return int64(time.Since(m.start)) })
+	return m
+}
+
+// Word allocates an atomic register initialized to zero.
+func (m *AtomicMem) Word(owner int, class string, idx ...int) Reg {
+	name := RegName(class, idx...)
+	st := m.census.Track(class, name, owner)
+	return &atomicReg{
+		owner:  owner,
+		name:   name,
+		census: m.census,
+		stats:  st,
+		count:  m.count,
+	}
+}
+
+// Census returns the census (meaningful only when counting is enabled).
+func (m *AtomicMem) Census() *Census { return m.census }
+
+type atomicReg struct {
+	owner  int
+	name   string
+	value  atomic.Uint64
+	census *Census
+	stats  *RegStats
+	count  bool
+}
+
+var _ Reg = (*atomicReg)(nil)
+var _ Seeder = (*atomicReg)(nil)
+
+func (r *atomicReg) Read(pid int) uint64 {
+	v := r.value.Load()
+	if r.count {
+		r.census.NoteRead(r.stats, pid)
+	}
+	return v
+}
+
+func (r *atomicReg) Write(pid int, v uint64) {
+	if r.owner != MultiWriter && pid != r.owner {
+		panic(fmt.Sprintf("shmem: process %d wrote 1WnR register %s owned by %d", pid, r.name, r.owner))
+	}
+	r.value.Store(v)
+	if r.count {
+		r.census.NoteWrite(r.stats, pid, v)
+	}
+}
+
+func (r *atomicReg) Owner() int   { return r.owner }
+func (r *atomicReg) Name() string { return r.name }
+
+func (r *atomicReg) Seed(v uint64) {
+	r.value.Store(v)
+	r.census.SeedValue(r.stats, v)
+}

@@ -1,0 +1,100 @@
+package shmem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicMemBasics(t *testing.T) {
+	m := NewAtomicMem(3, true)
+	r := m.Word(0, "PROGRESS", 0)
+	r.Write(0, 7)
+	if got := r.Read(1); got != 7 {
+		t.Fatalf("read %d, want 7", got)
+	}
+	snap := m.Census().Snapshot()
+	rs := snap.Regs["PROGRESS[0]"]
+	if rs.WritesBy[0] != 1 || rs.ReadsBy[1] != 1 {
+		t.Errorf("census writes=%v reads=%v", rs.WritesBy, rs.ReadsBy)
+	}
+	if rs.LastWrite < 0 {
+		t.Errorf("LastWrite not timestamped: %d", rs.LastWrite)
+	}
+}
+
+func TestAtomicMemCountingDisabled(t *testing.T) {
+	m := NewAtomicMem(2, false)
+	r := m.Word(0, "X", 0)
+	r.Write(0, 1)
+	r.Read(1)
+	snap := m.Census().Snapshot()
+	if snap.Regs["X[0]"].TotalWrites() != 0 || snap.Regs["X[0]"].TotalReads() != 0 {
+		t.Error("census must stay empty with counting disabled")
+	}
+}
+
+func TestAtomicMemOwnershipPanic(t *testing.T) {
+	m := NewAtomicMem(2, false)
+	r := m.Word(0, "X", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write by non-owner must panic")
+		}
+	}()
+	r.Write(1, 1)
+}
+
+func TestAtomicMemSeed(t *testing.T) {
+	m := NewAtomicMem(2, true)
+	r := m.Word(0, "X", 0)
+	SeedIfPossible(r, 123)
+	if got := r.Read(1); got != 123 {
+		t.Fatalf("seed not visible: %d", got)
+	}
+	if w := m.Census().Snapshot().Regs["X[0]"].TotalWrites(); w != 0 {
+		t.Errorf("seed counted as write: %d", w)
+	}
+}
+
+// TestAtomicMemConcurrent hammers a register from one writer and many
+// readers under the race detector: the single-writer discipline plus
+// atomic words must be race-free, and readers must observe monotone
+// values when the writer writes monotonically (atomicity of the word).
+func TestAtomicMemConcurrent(t *testing.T) {
+	m := NewAtomicMem(4, true)
+	r := m.Word(0, "PROGRESS", 0)
+	const writes = 2000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := uint64(1); v <= writes; v++ {
+			r.Write(0, v)
+		}
+	}()
+	errs := make(chan string, 3)
+	for reader := 1; reader <= 3; reader++ {
+		reader := reader
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for i := 0; i < writes; i++ {
+				v := r.Read(reader)
+				if v < last {
+					errs <- "non-monotone read of a monotone single-writer register"
+					return
+				}
+				last = v
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if got := r.Read(1); got != writes {
+		t.Errorf("final value %d, want %d", got, writes)
+	}
+}

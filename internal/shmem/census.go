@@ -1,0 +1,413 @@
+package shmem
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// Census records every shared-memory access of a run, attributed to the
+// accessing process, together with the largest value ever stored in each
+// register. It is the measurement substrate behind the paper's
+// write-efficiency and boundedness results:
+//
+//   - Theorem 3 / Theorem 7: after stabilization only specific registers
+//     are still written, by specific processes (WritersSince, WritesSince).
+//   - Theorem 2 / Theorem 6: all (or all-but-one) registers have a bounded
+//     domain (MaxValue, Bits, TotalBits).
+//   - Lemmas 5 and 6: the leader writes forever, everyone else reads
+//     forever (ReadsSince).
+//
+// Census is safe for concurrent use; the simulation scheduler serializes
+// accesses anyway, while the live runtime pays the lock.
+type Census struct {
+	mu   sync.Mutex
+	n    int
+	regs map[string]*RegStats
+	// clock returns the current logical or real time used to timestamp
+	// accesses. The scheduler installs its virtual clock; the live runtime
+	// installs a monotonic nanosecond clock.
+	clock func() int64
+	// logClasses enables per-write event logging for the named register
+	// classes (used by the Figure 3 write-gap experiment).
+	logClasses map[string]bool
+	writeLog   []WriteEvent
+}
+
+// WriteEvent is one logged write, for classes enabled via LogWrites.
+type WriteEvent struct {
+	T     int64
+	Name  string
+	Class string
+	Pid   int
+	Value uint64
+}
+
+// RegStats is the per-register slice of the census.
+type RegStats struct {
+	Class string
+	Name  string
+	Owner int
+	// ReadsBy[p] and WritesBy[p] count accesses by process p.
+	ReadsBy  []uint64
+	WritesBy []uint64
+	// MaxValue is the largest word ever stored (including the initial
+	// value if SeedValue was called).
+	MaxValue uint64
+	// LastWrite is the timestamp of the most recent write, in census
+	// clock units; -1 if never written.
+	LastWrite int64
+	// DistinctValues counts value changes observed at write time; a
+	// register whose writes never change the value still counts writes
+	// but not distinct values.
+	DistinctValues uint64
+	lastValue      uint64
+	everWritten    bool
+}
+
+// NewCensus creates a census for n processes. clock may be nil, in which
+// case all timestamps are 0.
+func NewCensus(n int, clock func() int64) *Census {
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	return &Census{
+		n:     n,
+		regs:  make(map[string]*RegStats),
+		clock: clock,
+	}
+}
+
+// SetClock replaces the census timestamp source. The scheduler calls this
+// once it owns the memory.
+func (c *Census) SetClock(clock func() int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if clock != nil {
+		c.clock = clock
+	}
+}
+
+// N returns the number of processes the census attributes accesses to.
+func (c *Census) N() int { return c.n }
+
+// LogWrites enables per-write event logging for the given register
+// classes. Call before the run starts.
+func (c *Census) LogWrites(classes ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.logClasses == nil {
+		c.logClasses = make(map[string]bool)
+	}
+	for _, cl := range classes {
+		c.logClasses[cl] = true
+	}
+}
+
+// WriteLog returns a copy of the logged write events, in order.
+func (c *Census) WriteLog() []WriteEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]WriteEvent(nil), c.writeLog...)
+}
+
+// Track registers (or returns the existing) per-register stats slot for a
+// register. Substrate implementations outside this package (e.g. the SAN
+// replicated registers) call Track at allocation and then attribute
+// accesses via NoteRead / NoteWrite.
+func (c *Census) Track(class, name string, owner int) *RegStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.regs[name]; ok {
+		return st
+	}
+	st := &RegStats{
+		Class:     class,
+		Name:      name,
+		Owner:     owner,
+		ReadsBy:   make([]uint64, c.n),
+		WritesBy:  make([]uint64, c.n),
+		LastWrite: -1,
+	}
+	c.regs[name] = st
+	return st
+}
+
+// NoteRead attributes one read of the tracked register to process pid.
+func (c *Census) NoteRead(st *RegStats, pid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pid >= 0 && pid < len(st.ReadsBy) {
+		st.ReadsBy[pid]++
+	}
+}
+
+// NoteWrite attributes one write of value v to process pid and updates
+// the register's domain statistics.
+func (c *Census) NoteWrite(st *RegStats, pid int, v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pid >= 0 && pid < len(st.WritesBy) {
+		st.WritesBy[pid]++
+	}
+	if v > st.MaxValue {
+		st.MaxValue = v
+	}
+	if !st.everWritten || v != st.lastValue {
+		st.DistinctValues++
+	}
+	st.everWritten = true
+	st.lastValue = v
+	st.LastWrite = c.clock()
+	if c.logClasses[st.Class] {
+		c.writeLog = append(c.writeLog, WriteEvent{
+			T: st.LastWrite, Name: st.Name, Class: st.Class, Pid: pid, Value: v,
+		})
+	}
+}
+
+// SeedValue records an initial register value so boundedness verdicts
+// account for arbitrary initial values (the paper's self-stabilization
+// footnote 7). It does not count as a write.
+func (c *Census) SeedValue(st *RegStats, v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v > st.MaxValue {
+		st.MaxValue = v
+	}
+	st.lastValue = v
+}
+
+// Snapshot returns a deep copy of the census at this instant. Experiments
+// snapshot at the stabilization time and diff against the final state.
+func (c *Census) Snapshot() *CensusSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := &CensusSnapshot{
+		N:    c.n,
+		Regs: make(map[string]RegSnapshot, len(c.regs)),
+	}
+	for name, st := range c.regs {
+		rs := RegSnapshot{
+			Class:          st.Class,
+			Name:           name,
+			Owner:          st.Owner,
+			ReadsBy:        append([]uint64(nil), st.ReadsBy...),
+			WritesBy:       append([]uint64(nil), st.WritesBy...),
+			MaxValue:       st.MaxValue,
+			LastWrite:      st.LastWrite,
+			DistinctValues: st.DistinctValues,
+		}
+		snap.Regs[name] = rs
+	}
+	return snap
+}
+
+// CensusSnapshot is an immutable copy of a Census.
+type CensusSnapshot struct {
+	N    int
+	Regs map[string]RegSnapshot
+}
+
+// RegSnapshot is an immutable copy of RegStats.
+type RegSnapshot struct {
+	Class          string
+	Name           string
+	Owner          int
+	ReadsBy        []uint64
+	WritesBy       []uint64
+	MaxValue       uint64
+	LastWrite      int64
+	DistinctValues uint64
+}
+
+// Bits returns the number of bits needed to hold the largest value ever
+// stored in the register (at least 1).
+func (r RegSnapshot) Bits() int {
+	b := bits.Len64(r.MaxValue)
+	if b == 0 {
+		return 1
+	}
+	return b
+}
+
+// TotalReads returns reads summed over all processes.
+func (r RegSnapshot) TotalReads() uint64 { return sum(r.ReadsBy) }
+
+// TotalWrites returns writes summed over all processes.
+func (r RegSnapshot) TotalWrites() uint64 { return sum(r.WritesBy) }
+
+func sum(xs []uint64) uint64 {
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Diff describes the accesses that happened between an earlier snapshot
+// and a later one (later minus earlier, register by register).
+func (s *CensusSnapshot) Diff(earlier *CensusSnapshot) *CensusSnapshot {
+	out := &CensusSnapshot{N: s.N, Regs: make(map[string]RegSnapshot, len(s.Regs))}
+	for name, now := range s.Regs {
+		before, ok := earlier.Regs[name]
+		d := RegSnapshot{
+			Class:          now.Class,
+			Name:           name,
+			Owner:          now.Owner,
+			ReadsBy:        make([]uint64, len(now.ReadsBy)),
+			WritesBy:       make([]uint64, len(now.WritesBy)),
+			MaxValue:       now.MaxValue,
+			LastWrite:      now.LastWrite,
+			DistinctValues: now.DistinctValues,
+		}
+		for p := range now.ReadsBy {
+			d.ReadsBy[p] = now.ReadsBy[p]
+			d.WritesBy[p] = now.WritesBy[p]
+			if ok && p < len(before.ReadsBy) {
+				d.ReadsBy[p] -= before.ReadsBy[p]
+				d.WritesBy[p] -= before.WritesBy[p]
+			}
+		}
+		if ok {
+			d.DistinctValues -= before.DistinctValues
+		}
+		out.Regs[name] = d
+	}
+	return out
+}
+
+// Writers returns the set of processes with at least one write in the
+// snapshot, sorted ascending. For a diff snapshot this is the paper's
+// "processes that write after stabilization" census.
+func (s *CensusSnapshot) Writers() []int {
+	seen := make(map[int]bool)
+	for _, r := range s.Regs {
+		for p, w := range r.WritesBy {
+			if w > 0 {
+				seen[p] = true
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// Readers returns the set of processes with at least one read, sorted.
+func (s *CensusSnapshot) Readers() []int {
+	seen := make(map[int]bool)
+	for _, r := range s.Regs {
+		for p, rd := range r.ReadsBy {
+			if rd > 0 {
+				seen[p] = true
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// WrittenRegisters returns the names of registers with at least one write,
+// sorted. On a diff snapshot this identifies which variables are still
+// being written after stabilization (Theorem 3: only PROGRESS[ell];
+// Theorem 7: only PROGRESS[ell][*] and LAST[ell][*]).
+func (s *CensusSnapshot) WrittenRegisters() []string {
+	var names []string
+	for name, r := range s.Regs {
+		if r.TotalWrites() > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ChangedRegisters returns the names of registers whose *value changed*
+// at least once in the snapshot window, sorted. Rewrites of an identical
+// value (e.g. the leader re-asserting STOP=false) do not count.
+func (s *CensusSnapshot) ChangedRegisters() []string {
+	var names []string
+	for name, r := range s.Regs {
+		if r.DistinctValues > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ClassBits sums Bits over all registers of the given class.
+func (s *CensusSnapshot) ClassBits(class string) int {
+	total := 0
+	for _, r := range s.Regs {
+		if r.Class == class {
+			total += r.Bits()
+		}
+	}
+	return total
+}
+
+// TotalBits sums Bits over every register: the shared-memory footprint in
+// the sense of the paper's bounded-memory model (Section 4.1).
+func (s *CensusSnapshot) TotalBits() int {
+	total := 0
+	for _, r := range s.Regs {
+		total += r.Bits()
+	}
+	return total
+}
+
+// MaxBitsOutside returns the largest Bits() over registers that are NOT of
+// the named class, used to check "all variables but PROGRESS[ell] are
+// bounded" style claims.
+func (s *CensusSnapshot) MaxBitsOutside(exceptName string) (string, int) {
+	best, bestName := 0, ""
+	for name, r := range s.Regs {
+		if name == exceptName {
+			continue
+		}
+		if b := r.Bits(); b > best {
+			best = b
+			bestName = name
+		}
+	}
+	return bestName, best
+}
+
+// Classes returns the distinct register classes present, sorted.
+func (s *CensusSnapshot) Classes() []string {
+	seen := make(map[string]bool)
+	for _, r := range s.Regs {
+		seen[r.Class] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a compact human-readable census table.
+func (s *CensusSnapshot) String() string {
+	names := make([]string, 0, len(s.Regs))
+	for n := range s.Regs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		r := s.Regs[n]
+		out += fmt.Sprintf("%-22s owner=%2d reads=%6d writes=%6d max=%d bits=%d\n",
+			n, r.Owner, r.TotalReads(), r.TotalWrites(), r.MaxValue, r.Bits())
+	}
+	return out
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

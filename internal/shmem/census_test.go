@@ -1,0 +1,238 @@
+package shmem
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCensus() (*Census, *RegStats, *RegStats) {
+	c := NewCensus(3, nil)
+	a := c.Track("PROGRESS", "PROGRESS[0]", 0)
+	b := c.Track("STOP", "STOP[1]", 1)
+	return c, a, b
+}
+
+func TestCensusCounts(t *testing.T) {
+	c, a, b := newTestCensus()
+	c.NoteWrite(a, 0, 5)
+	c.NoteWrite(a, 0, 5) // same value: one distinct
+	c.NoteWrite(a, 0, 7)
+	c.NoteRead(a, 1)
+	c.NoteRead(a, 2)
+	c.NoteWrite(b, 1, 1)
+
+	snap := c.Snapshot()
+	ra := snap.Regs["PROGRESS[0]"]
+	if ra.TotalWrites() != 3 || ra.TotalReads() != 2 {
+		t.Fatalf("writes=%d reads=%d", ra.TotalWrites(), ra.TotalReads())
+	}
+	if ra.MaxValue != 7 {
+		t.Errorf("MaxValue = %d, want 7", ra.MaxValue)
+	}
+	if ra.DistinctValues != 2 {
+		t.Errorf("DistinctValues = %d, want 2 (5 then 7; the repeat of 5 is not distinct)", ra.DistinctValues)
+	}
+	if got := snap.Writers(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("Writers() = %v", got)
+	}
+	if got := snap.Readers(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("Readers() = %v", got)
+	}
+}
+
+func TestCensusOutOfRangePidIgnored(t *testing.T) {
+	c, a, _ := newTestCensus()
+	c.NoteRead(a, -1)
+	c.NoteRead(a, 99)
+	c.NoteWrite(a, -5, 1)
+	snap := c.Snapshot()
+	ra := snap.Regs["PROGRESS[0]"]
+	if ra.TotalReads() != 0 {
+		t.Errorf("out-of-range reads counted: %d", ra.TotalReads())
+	}
+	// The write's per-pid count is dropped but the value stats still update.
+	if ra.MaxValue != 1 {
+		t.Errorf("MaxValue = %d, want 1", ra.MaxValue)
+	}
+}
+
+func TestSnapshotIsImmutable(t *testing.T) {
+	c, a, _ := newTestCensus()
+	c.NoteWrite(a, 0, 1)
+	snap := c.Snapshot()
+	c.NoteWrite(a, 0, 2)
+	if snap.Regs["PROGRESS[0]"].TotalWrites() != 1 {
+		t.Fatal("snapshot mutated by later writes")
+	}
+}
+
+func TestDiffSubtracts(t *testing.T) {
+	c, a, _ := newTestCensus()
+	c.NoteWrite(a, 0, 1)
+	c.NoteRead(a, 1)
+	early := c.Snapshot()
+	c.NoteWrite(a, 0, 2)
+	c.NoteWrite(a, 0, 3)
+	c.NoteRead(a, 2)
+	late := c.Snapshot()
+	d := late.Diff(early)
+	ra := d.Regs["PROGRESS[0]"]
+	if ra.TotalWrites() != 2 {
+		t.Errorf("diff writes = %d, want 2", ra.TotalWrites())
+	}
+	if ra.ReadsBy[1] != 0 || ra.ReadsBy[2] != 1 {
+		t.Errorf("diff reads = %v", ra.ReadsBy)
+	}
+	if ra.DistinctValues != 2 {
+		t.Errorf("diff distinct = %d, want 2", ra.DistinctValues)
+	}
+	if got := d.Writers(); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("diff writers = %v", got)
+	}
+}
+
+// TestDiffSelfIsZero: property — diffing a snapshot against itself leaves
+// no writers, readers, or changed registers.
+func TestDiffSelfIsZero(t *testing.T) {
+	f := func(writes []uint8) bool {
+		c := NewCensus(4, nil)
+		a := c.Track("X", "X[0]", 0)
+		for _, w := range writes {
+			c.NoteWrite(a, int(w)%4, uint64(w))
+		}
+		s := c.Snapshot()
+		d := s.Diff(s)
+		return len(d.Writers()) == 0 && len(d.Readers()) == 0 && len(d.ChangedRegisters()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBits(t *testing.T) {
+	tests := []struct {
+		max  uint64
+		want int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+	}
+	for _, tc := range tests {
+		r := RegSnapshot{MaxValue: tc.max}
+		if got := r.Bits(); got != tc.want {
+			t.Errorf("Bits(max=%d) = %d, want %d", tc.max, got, tc.want)
+		}
+	}
+}
+
+func TestWrittenVsChangedRegisters(t *testing.T) {
+	c, a, b := newTestCensus()
+	c.NoteWrite(a, 0, 7)
+	base := c.Snapshot()
+	c.NoteWrite(a, 0, 7) // rewrite same value
+	c.NoteWrite(b, 1, 1) // new value
+	d := c.Snapshot().Diff(base)
+	if got := d.WrittenRegisters(); !reflect.DeepEqual(got, []string{"PROGRESS[0]", "STOP[1]"}) {
+		t.Errorf("WrittenRegisters = %v", got)
+	}
+	if got := d.ChangedRegisters(); !reflect.DeepEqual(got, []string{"STOP[1]"}) {
+		t.Errorf("ChangedRegisters = %v (same-value rewrites must not count)", got)
+	}
+}
+
+func TestClassBitsAndTotalBits(t *testing.T) {
+	c := NewCensus(2, nil)
+	a := c.Track("A", "A[0]", 0)
+	b := c.Track("A", "A[1]", 1)
+	x := c.Track("B", "B[0]", 0)
+	c.NoteWrite(a, 0, 255) // 8 bits
+	c.NoteWrite(b, 1, 1)   // 1 bit
+	c.NoteWrite(x, 0, 15)  // 4 bits
+	snap := c.Snapshot()
+	if got := snap.ClassBits("A"); got != 9 {
+		t.Errorf("ClassBits(A) = %d, want 9", got)
+	}
+	if got := snap.TotalBits(); got != 13 {
+		t.Errorf("TotalBits = %d, want 13", got)
+	}
+	if name, bits := snap.MaxBitsOutside("A[0]"); name != "B[0]" || bits != 4 {
+		t.Errorf("MaxBitsOutside = %q/%d, want B[0]/4", name, bits)
+	}
+	if got := snap.Classes(); !reflect.DeepEqual(got, []string{"A", "B"}) {
+		t.Errorf("Classes = %v", got)
+	}
+}
+
+func TestWriteLog(t *testing.T) {
+	c := NewCensus(2, nil)
+	c.LogWrites("P")
+	p := c.Track("P", "P[0]", 0)
+	q := c.Track("Q", "Q[0]", 0)
+	c.NoteWrite(p, 0, 1)
+	c.NoteWrite(q, 0, 2) // class Q not logged
+	c.NoteWrite(p, 0, 3)
+	log := c.WriteLog()
+	if len(log) != 2 {
+		t.Fatalf("write log has %d events, want 2", len(log))
+	}
+	if log[0].Value != 1 || log[1].Value != 3 {
+		t.Errorf("log values = %d,%d", log[0].Value, log[1].Value)
+	}
+	if log[0].Class != "P" || log[0].Pid != 0 {
+		t.Errorf("log[0] = %+v", log[0])
+	}
+}
+
+func TestCensusClock(t *testing.T) {
+	now := int64(0)
+	c := NewCensus(1, func() int64 { return now })
+	a := c.Track("P", "P[0]", 0)
+	now = 42
+	c.NoteWrite(a, 0, 1)
+	if got := c.Snapshot().Regs["P[0]"].LastWrite; got != 42 {
+		t.Errorf("LastWrite = %d, want 42", got)
+	}
+	// Replace clock and check it takes effect.
+	c.SetClock(func() int64 { return 100 })
+	c.NoteWrite(a, 0, 2)
+	if got := c.Snapshot().Regs["P[0]"].LastWrite; got != 100 {
+		t.Errorf("LastWrite = %d, want 100", got)
+	}
+	// Nil clock is ignored.
+	c.SetClock(nil)
+	c.NoteWrite(a, 0, 3)
+	if got := c.Snapshot().Regs["P[0]"].LastWrite; got != 100 {
+		t.Errorf("nil SetClock changed the clock")
+	}
+}
+
+// TestDiffComposition: property — for any split point, the suffix diff
+// plus the prefix counts equal the final counts.
+func TestDiffComposition(t *testing.T) {
+	f := func(ops []uint16, split uint8) bool {
+		c := NewCensus(4, nil)
+		a := c.Track("X", "X[0]", 0)
+		cut := int(split) % (len(ops) + 1)
+		var mid *CensusSnapshot
+		for i, op := range ops {
+			if i == cut {
+				mid = c.Snapshot()
+			}
+			c.NoteWrite(a, int(op)%4, uint64(op))
+		}
+		if mid == nil {
+			mid = c.Snapshot()
+		}
+		end := c.Snapshot()
+		d := end.Diff(mid)
+		for p := 0; p < 4; p++ {
+			if mid.Regs["X[0]"].WritesBy[p]+d.Regs["X[0]"].WritesBy[p] != end.Regs["X[0]"].WritesBy[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+// Package shmem provides the shared-memory substrate of the reproduction:
+// atomic registers in the style of the paper's base model AS[n,emptyset].
+//
+// The paper's processes communicate only by reading and writing
+// one-writer/multi-reader (1WnR) atomic registers. This package models a
+// register as a 64-bit word (booleans are encoded as 0/1) and offers three
+// interchangeable implementations behind the Mem/Reg interfaces:
+//
+//   - SimMem: plain words plus full instrumentation, for the deterministic
+//     simulation scheduler (package sched), which serializes all accesses
+//     on a single goroutine so linearizability is trivial.
+//   - AtomicMem (atomic.go): sync/atomic-backed registers for the live
+//     goroutine runtime (package rt).
+//   - san.DiskMem (package san): registers replicated over simulated
+//     network-attached disks, the paper's motivating deployment.
+//
+// Every access is attributed to the accessing process identity so that the
+// experiment harness can regenerate the paper's write/read censuses
+// (Theorems 3 and 7, Lemmas 5 and 6) and boundedness verdicts
+// (Theorems 2 and 6).
+package shmem
+
+import "fmt"
+
+// MultiWriter is the Owner value of a register that any process may write
+// (the paper's nWnR variant, Section 3.5).
+const MultiWriter = -1
+
+// Reg is a single atomic register holding a uint64.
+//
+// Read and Write take the identity of the accessing process so that the
+// substrate can attribute the access in the census. For 1WnR registers,
+// Write panics if pid is not the owner: in the paper's model a write by a
+// non-owner is a malformed algorithm, not a run-time condition, so it is a
+// programming error here as well.
+type Reg interface {
+	// Read returns the current value, attributing the access to pid.
+	Read(pid int) uint64
+	// Write stores v, attributing the access to pid. pid must be the
+	// owner unless the register is multi-writer.
+	Write(pid int, v uint64)
+	// Owner returns the writing process, or MultiWriter.
+	Owner() int
+	// Name returns the register's display name, e.g. "SUSPICIONS[2][3]".
+	Name() string
+}
+
+// Mem allocates registers and carries the census shared by all registers it
+// creates. A Mem instance represents one shared memory, i.e. one run.
+type Mem interface {
+	// Word allocates a fresh register. class is the register family
+	// ("PROGRESS", "STOP", ...); idx are the paper's subscripts. owner is
+	// the writing process or MultiWriter.
+	Word(owner int, class string, idx ...int) Reg
+	// Census returns the access census for all registers of this memory.
+	// It may return nil if the implementation does not record accesses.
+	Census() *Census
+}
+
+// RegName renders the canonical display name of a register.
+func RegName(class string, idx ...int) string {
+	switch len(idx) {
+	case 0:
+		return class
+	case 1:
+		return fmt.Sprintf("%s[%d]", class, idx[0])
+	case 2:
+		return fmt.Sprintf("%s[%d][%d]", class, idx[0], idx[1])
+	default:
+		s := class
+		for _, i := range idx {
+			s += fmt.Sprintf("[%d]", i)
+		}
+		return s
+	}
+}
+
+// Bool helpers: the paper's STOP, PROGRESS[i][k] and LAST[i][k] registers
+// are boolean; we encode them in the low bit of the word.
+
+// B2W encodes a boolean into a register word.
+func B2W(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// W2B decodes a register word into a boolean.
+func W2B(w uint64) bool { return w != 0 }

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	// Sample stddev of 1..5 is sqrt(2.5).
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if got := Percentile(sorted, 0); got != 10 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(sorted, 100); got != 40 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(sorted, -5); got != 10 {
+		t.Errorf("p-5 = %v", got)
+	}
+	if got := Percentile(sorted, 50); got != 25 { // interpolated
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+// TestPercentileWithinRange: property — any percentile of a sample lies
+// within [min, max], and percentiles are monotone in p.
+func TestPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		p := float64(pRaw) / 2.55 // 0..100
+		v := Percentile(xs, p)
+		if v < xs[0] || v > xs[len(xs)-1] {
+			return false
+		}
+		return Percentile(xs, p) <= Percentile(xs, math.Min(p+10, 100))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	out := s.String()
+	if !strings.Contains(out, "n=3") {
+		t.Errorf("summary string %q", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Header:  []string{"a", "long-column", "c"},
+		Caption: "the caption",
+	}
+	tbl.AddRow("1", "2")                // short row padded
+	tbl.AddRow("123456", "x", "y", "z") // long row truncated to header width
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, separator, 2 rows, caption
+	if len(lines) != 6 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Errorf("title line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "long-column") {
+		t.Errorf("header line %q", lines[1])
+	}
+	if lines[5] != "the caption" {
+		t.Errorf("caption line %q", lines[5])
+	}
+	// Column alignment: all data lines at least as wide as the header's
+	// first two columns.
+	if len(lines[3]) < len("a  long-column") {
+		t.Errorf("row line too short: %q", lines[3])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.50) != "1.5" {
+		t.Errorf("F(1.50) = %q", F(1.50))
+	}
+	if F(2.00) != "2" {
+		t.Errorf("F(2.00) = %q", F(2.00))
+	}
+	if F(0) != "0" {
+		t.Errorf("F(0) = %q", F(0))
+	}
+	if I(-3) != "-3" {
+		t.Errorf("I(-3) = %q", I(-3))
+	}
+	if U(18446744073709551615) != "18446744073709551615" {
+		t.Errorf("U(max) = %q", U(18446744073709551615))
+	}
+}

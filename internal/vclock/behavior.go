@@ -1,0 +1,147 @@
+package vclock
+
+import "math/rand"
+
+// Behavior produces the real expiry duration T_R(tau, x) of one process's
+// timer: the ticks that elapse between setting the timer to x at time tau
+// and its expiry. Behaviors may be stateful and randomized (seeded), but a
+// given Behavior instance is consulted from a single scheduler goroutine.
+type Behavior interface {
+	// Expire returns T_R(tau, x) >= 1.
+	Expire(tau Time, x uint64) Duration
+}
+
+// AWBBehavior additionally exposes the function f it eventually dominates,
+// so experiments can verify property (f3) of the AWB2 assumption.
+type AWBBehavior interface {
+	Behavior
+	// Dominates returns the dominated f and the time from which the
+	// domination guarantee holds (the behavior's own settle point; it is
+	// >= f's tau_f).
+	Dominates() (f FFunc, settle Time)
+}
+
+// Exact is the ideal timer: T_R(tau, x) = Scale*x + Floor. It trivially
+// dominates Affine{Scale, Floor}.
+type Exact struct {
+	Scale Duration // ticks per timeout unit (>= 1)
+	Floor Duration // constant offset (>= 0)
+}
+
+var _ AWBBehavior = Exact{}
+
+// Expire implements Behavior.
+func (e Exact) Expire(_ Time, x uint64) Duration {
+	d := e.Scale*Duration(x) + e.Floor
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Dominates implements AWBBehavior.
+func (e Exact) Dominates() (FFunc, Time) {
+	return Affine{A: max64(e.Scale, 1), B: e.Floor}, 0
+}
+
+// Adversarial is the fully general asymptotically well-behaved timer of
+// the paper: before Settle it returns arbitrary (seeded) durations in
+// [1, PrefixMax]; from Settle on it returns F(tau,x) plus a non-negative
+// oscillation bounded by OscAmp, so it dominates F without ever being
+// monotone itself (paper Figure 1).
+type Adversarial struct {
+	F         FFunc
+	Settle    Time     // end of the arbitrary prefix
+	PrefixMax Duration // max arbitrary duration during the prefix (>= 1)
+	OscAmp    Duration // oscillation amplitude above F after Settle
+	Rng       *rand.Rand
+}
+
+var _ AWBBehavior = (*Adversarial)(nil)
+
+// Expire implements Behavior.
+func (a *Adversarial) Expire(tau Time, x uint64) Duration {
+	if tau < a.Settle {
+		if a.PrefixMax <= 1 {
+			return 1
+		}
+		return 1 + a.Rng.Int63n(a.PrefixMax)
+	}
+	d := a.F.Eval(tau, x)
+	if a.OscAmp > 0 {
+		d += a.Rng.Int63n(a.OscAmp + 1)
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Dominates implements AWBBehavior.
+func (a *Adversarial) Dominates() (FFunc, Time) {
+	ft, _ := a.F.Bounds()
+	return a.F, max64(a.Settle, ft)
+}
+
+// PhaseLocked is a *legal* AWB timer that the Figure 4 lower-bound
+// adversary uses: expiry durations are F(tau,x) rounded UP to the next
+// multiple of Period (plus Offset modulo Period). Rounding up keeps the
+// behavior above F, so AWB2 holds; yet every expiry lands on the same
+// phase of a Period-step cycle, which lets the adversary keep a
+// bounded-memory strawman observing a repeating shared-memory state
+// (Theorem 5's indistinguishability argument, operationalized).
+type PhaseLocked struct {
+	F      FFunc
+	Period Duration // > 0
+	Offset Duration // target phase in [0, Period)
+}
+
+var _ AWBBehavior = PhaseLocked{}
+
+// Expire implements Behavior. The returned duration d satisfies
+// (tau + d) mod Period == Offset and d >= F(tau, x).
+func (p PhaseLocked) Expire(tau Time, x uint64) Duration {
+	d := p.F.Eval(tau, x)
+	if d < 1 {
+		d = 1
+	}
+	expiry := tau + d
+	rem := (expiry - p.Offset) % p.Period
+	if rem < 0 {
+		rem += p.Period
+	}
+	if rem != 0 {
+		expiry += p.Period - rem
+	}
+	return expiry - tau
+}
+
+// Dominates implements AWBBehavior.
+func (p PhaseLocked) Dominates() (FFunc, Time) {
+	ft, _ := p.F.Bounds()
+	return p.F, ft
+}
+
+// Broken violates AWB2: it always expires after exactly Short ticks, no
+// matter the timeout value, so no unbounded f can be dominated. Used in
+// negative tests showing the algorithms genuinely need the assumption.
+type Broken struct {
+	Short Duration // constant expiry (>= 1)
+}
+
+var _ Behavior = Broken{}
+
+// Expire implements Behavior.
+func (b Broken) Expire(Time, uint64) Duration {
+	if b.Short < 1 {
+		return 1
+	}
+	return b.Short
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,92 @@
+// Package vclock models logical time and the paper's timer theory.
+//
+// The AWB2 assumption (Section 2.3) is a statement about timers, not about
+// process speeds: the duration T_R(tau, x) that really elapses between
+// setting a timer to x at time tau and its expiry must, after some finite
+// point (tau_f, x_f), dominate a function f(tau, x) that is eventually
+// non-decreasing (property f1) and unbounded in x (property f2). Before
+// that point the timer may behave arbitrarily, and even afterwards T_R may
+// oscillate freely above f (paper Figure 1).
+//
+// This package provides:
+//
+//   - Time/Duration: virtual time in abstract ticks.
+//   - FFunc: the dominated function f with its (tau_f, x_f) bounds.
+//   - Behavior: generators of T_R for a process's timer, including exact
+//     timers, asymptotically well-behaved timers with adversarial finite
+//     prefixes and oscillation, legal-but-nasty behaviors (e.g. rounding
+//     expiries to multiples of a period, used by the Figure 4 lower-bound
+//     adversary), and broken timers that violate AWB2 for negative tests.
+package vclock
+
+// Time is a point in virtual time, in ticks. Tick 0 is the start of a run.
+type Time = int64
+
+// Duration is a span of virtual time in ticks.
+type Duration = int64
+
+// FFunc is the function f(tau, x) of the paper's asymptotically
+// well-behaved timer definition, together with the bounds after which its
+// monotonicity (f1) is guaranteed.
+type FFunc interface {
+	// Eval returns f(tau, x) in ticks.
+	Eval(tau Time, x uint64) Duration
+	// Bounds returns (tau_f, x_f): for tau2 >= tau1 >= tau_f and
+	// x2 >= x1 >= x_f, Eval(tau2, x2) >= Eval(tau1, x1).
+	Bounds() (tauF Time, xF uint64)
+}
+
+// Affine is f(tau, x) = A*x + B, independent of tau. It satisfies (f1)
+// everywhere and (f2) whenever A >= 1.
+type Affine struct {
+	A Duration // slope per timeout unit, >= 1 for (f2)
+	B Duration // constant offset, >= 0
+}
+
+var _ FFunc = Affine{}
+
+// Eval implements FFunc.
+func (f Affine) Eval(_ Time, x uint64) Duration {
+	return f.A*Duration(x) + f.B
+}
+
+// Bounds implements FFunc. Affine is monotone from the origin.
+func (f Affine) Bounds() (Time, uint64) { return 0, 0 }
+
+// Warmup wraps an FFunc so that it only "settles" after TauF: before TauF
+// it may report smaller values, exercising the f1 bounds machinery. It
+// models an f whose early behavior is irregular, as the definition allows.
+type Warmup struct {
+	F    FFunc
+	TauF Time
+	XF   uint64
+	// Dip is subtracted from F before the bounds (clamped at 1), making
+	// the prefix genuinely non-monotone.
+	Dip Duration
+}
+
+var _ FFunc = Warmup{}
+
+// Eval implements FFunc.
+func (w Warmup) Eval(tau Time, x uint64) Duration {
+	v := w.F.Eval(tau, x)
+	if tau < w.TauF || x < w.XF {
+		v -= w.Dip
+		if v < 1 {
+			v = 1
+		}
+	}
+	return v
+}
+
+// Bounds implements FFunc.
+func (w Warmup) Bounds() (Time, uint64) {
+	ft, fx := w.F.Bounds()
+	if w.TauF > ft {
+		ft = w.TauF
+	}
+	if w.XF > fx {
+		fx = w.XF
+	}
+	return ft, fx
+}

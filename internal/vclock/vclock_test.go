@@ -1,0 +1,225 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAffineF1 checks property (f1): f is non-decreasing in both
+// arguments past its bounds.
+func TestAffineF1(t *testing.T) {
+	f := Affine{A: 4, B: 1}
+	check := func(t1, t2 int32, x1, x2 uint16) bool {
+		tau1, tau2 := Time(t1), Time(t2)
+		if tau2 < tau1 {
+			tau1, tau2 = tau2, tau1
+		}
+		xa, xb := uint64(x1), uint64(x2)
+		if xb < xa {
+			xa, xb = xb, xa
+		}
+		return f.Eval(tau2, xb) >= f.Eval(tau1, xa)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAffineF2 checks property (f2): f is unbounded in x.
+func TestAffineF2(t *testing.T) {
+	f := Affine{A: 1, B: 0}
+	prev := Duration(-1)
+	for x := uint64(1); x < 1<<20; x *= 2 {
+		v := f.Eval(0, x)
+		if v <= prev {
+			t.Fatalf("f not strictly growing at x=%d: %d <= %d", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestAffineBounds(t *testing.T) {
+	tau, x := Affine{A: 2, B: 3}.Bounds()
+	if tau != 0 || x != 0 {
+		t.Errorf("Affine.Bounds() = (%d,%d), want (0,0)", tau, x)
+	}
+}
+
+func TestWarmup(t *testing.T) {
+	inner := Affine{A: 4, B: 10}
+	w := Warmup{F: inner, TauF: 100, XF: 5, Dip: 8}
+	if got, want := w.Eval(50, 3), inner.Eval(50, 3)-8; got != want {
+		t.Errorf("prefix not dipped: got %d, want %d", got, want)
+	}
+	if got := w.Eval(200, 10); got != 4*10+10 {
+		t.Errorf("settled value wrong: %d", got)
+	}
+	// Dip clamps at 1.
+	w2 := Warmup{F: Affine{A: 1, B: 0}, TauF: 100, XF: 0, Dip: 1000}
+	if got := w2.Eval(0, 1); got != 1 {
+		t.Errorf("dip must clamp at 1, got %d", got)
+	}
+	ft, fx := w.Bounds()
+	if ft != 100 || fx != 5 {
+		t.Errorf("Warmup.Bounds() = (%d,%d)", ft, fx)
+	}
+	// Bounds take the max with the inner f's bounds.
+	w3 := Warmup{F: Warmup{F: Affine{}, TauF: 500, XF: 9}, TauF: 100, XF: 5}
+	ft, fx = w3.Bounds()
+	if ft != 500 || fx != 9 {
+		t.Errorf("nested Bounds() = (%d,%d), want (500,9)", ft, fx)
+	}
+}
+
+func TestExactDominatesItsF(t *testing.T) {
+	e := Exact{Scale: 4, Floor: 1}
+	f, settle := e.Dominates()
+	for x := uint64(1); x < 100; x++ {
+		for _, tau := range []Time{settle, settle + 100, settle + 10000} {
+			if e.Expire(tau, x) < f.Eval(tau, x) {
+				t.Fatalf("Exact violates (f3) at tau=%d x=%d", tau, x)
+			}
+		}
+	}
+	if e.Expire(0, 0) < 1 {
+		t.Error("Expire must be >= 1")
+	}
+}
+
+// TestAdversarialF3 checks the central AWB2 property on the adversarial
+// behavior: after Settle, every expiry dominates f; before, some expiries
+// fall below it (the arbitrary prefix).
+func TestAdversarialF3(t *testing.T) {
+	a := &Adversarial{
+		F:         Affine{A: 4, B: 1},
+		Settle:    1000,
+		PrefixMax: 8,
+		OscAmp:    32,
+		Rng:       rand.New(rand.NewSource(1)),
+	}
+	f, settle := a.Dominates()
+	sawBelow := false
+	for i := 0; i < 500; i++ {
+		tau := Time(i)
+		if a.Expire(tau, 100) < f.Eval(tau, 100) {
+			sawBelow = true
+		}
+	}
+	if !sawBelow {
+		t.Error("prefix never misbehaved; PrefixMax=8 vs f(100)=401 should")
+	}
+	for i := 0; i < 500; i++ {
+		tau := settle + Time(i*7)
+		for _, x := range []uint64{1, 5, 50} {
+			if got := a.Expire(tau, x); got < f.Eval(tau, x) {
+				t.Fatalf("(f3) violated after settle: T_R(%d,%d)=%d < f=%d", tau, x, got, f.Eval(tau, x))
+			}
+		}
+	}
+}
+
+func TestAdversarialOscillates(t *testing.T) {
+	a := &Adversarial{
+		F:      Affine{A: 4, B: 1},
+		Settle: 0,
+		OscAmp: 16,
+		Rng:    rand.New(rand.NewSource(2)),
+	}
+	first := a.Expire(10, 10)
+	varies := false
+	for i := 0; i < 200; i++ {
+		if a.Expire(10, 10) != first {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Error("oscillation amplitude 16 produced constant expiries")
+	}
+}
+
+func TestAdversarialPrefixMinimum(t *testing.T) {
+	a := &Adversarial{
+		F:         Affine{A: 1, B: 0},
+		Settle:    100,
+		PrefixMax: 1, // degenerate: must clamp to exactly 1
+		Rng:       rand.New(rand.NewSource(3)),
+	}
+	for i := 0; i < 50; i++ {
+		if got := a.Expire(Time(i), 10); got != 1 {
+			t.Fatalf("degenerate prefix expiry = %d, want 1", got)
+		}
+	}
+}
+
+// TestPhaseLockedDominatesAndAligns: the Figure 4 adversary must stay a
+// legal AWB behavior (rounding UP above f) while landing every expiry on
+// its phase.
+func TestPhaseLockedDominatesAndAligns(t *testing.T) {
+	p := PhaseLocked{F: Affine{A: 4, B: 1}, Period: 4, Offset: 2}
+	f, _ := p.Dominates()
+	for tau := Time(0); tau < 200; tau++ {
+		for _, x := range []uint64{1, 3, 17} {
+			d := p.Expire(tau, x)
+			if d < f.Eval(tau, x) {
+				t.Fatalf("PhaseLocked below f at tau=%d x=%d", tau, x)
+			}
+			if (tau+d-2)%4 != 0 {
+				t.Fatalf("expiry %d not phase-aligned (tau=%d d=%d)", tau+d, tau, d)
+			}
+		}
+	}
+}
+
+func TestPhaseLockedNegativeRemainder(t *testing.T) {
+	// Offset larger than the first expiry exercises the negative-modulo
+	// branch.
+	p := PhaseLocked{F: Affine{A: 1, B: 0}, Period: 10, Offset: 9}
+	d := p.Expire(0, 1)
+	if (d-9)%10 != 0 {
+		t.Fatalf("expiry %d not aligned to offset 9 mod 10", d)
+	}
+	if d < 1 {
+		t.Fatal("duration must be >= 1")
+	}
+}
+
+func TestBroken(t *testing.T) {
+	b := Broken{Short: 3}
+	for _, x := range []uint64{1, 100, 1 << 40} {
+		if got := b.Expire(0, x); got != 3 {
+			t.Fatalf("Broken.Expire(%d) = %d, want 3", x, got)
+		}
+	}
+	if got := (Broken{Short: 0}).Expire(0, 1); got != 1 {
+		t.Errorf("Broken with Short<1 must clamp to 1, got %d", got)
+	}
+}
+
+// TestBehaviorsNeverReturnZero: property — every behavior returns a
+// positive duration for any inputs (the scheduler relies on it for
+// progress).
+func TestBehaviorsNeverReturnZero(t *testing.T) {
+	behaviors := []Behavior{
+		Exact{Scale: 0, Floor: 0},
+		&Adversarial{F: Affine{A: 0, B: 0}, Settle: 10, PrefixMax: 0, Rng: rand.New(rand.NewSource(4))},
+		PhaseLocked{F: Affine{A: 0, B: 0}, Period: 3},
+		Broken{},
+	}
+	f := func(tRaw int32, x uint16) bool {
+		tau := Time(tRaw)
+		if tau < 0 {
+			tau = -tau
+		}
+		for _, b := range behaviors {
+			if b.Expire(tau, uint64(x)) < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

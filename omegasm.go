@@ -1,0 +1,269 @@
+// Package omegasm is the public API of the reproduction of "Electing an
+// Eventual Leader in an Asynchronous Shared Memory System" (Fernández,
+// Jiménez, Raynal; DSN 2007): eventual leader (Omega) election for
+// crash-prone processes that communicate only through shared memory.
+//
+// The Omega abstraction provides each process a Leader() query whose
+// answers eventually converge, at every live process, on the identity of
+// one process that has not crashed. Omega is the weakest failure detector
+// for solving consensus in this model; it is the election core of
+// Paxos-style replication.
+//
+// A Cluster runs one process per participant on live goroutines, with
+// sync/atomic shared registers and real timers:
+//
+//	c, err := omegasm.New(omegasm.Config{N: 5})
+//	...
+//	c.Start()
+//	defer c.Stop()
+//	leader, ok := c.WaitForAgreement(2 * time.Second)
+//
+// Two algorithms are available (Config.Algorithm):
+//
+//   - WriteEfficient (default; the paper's Figure 2): after the run
+//     stabilizes, only the elected leader writes shared memory, and every
+//     shared variable except the leader's progress counter is bounded.
+//     Optimal in the number of eventual writers.
+//   - Bounded (the paper's Figure 5): every shared variable is bounded
+//     (the handshake registers are single bits); the price — proven
+//     unavoidable by the paper's Theorem 5 — is that every live process
+//     writes shared memory forever.
+//
+// Liveness rests on the paper's AWB assumption, which on a live host is
+// mild: at least one live process's scheduler keeps granting it steps at
+// a bounded pace (AWB1), and the other processes' timers eventually
+// dominate a growing function of their timeout value (AWB2; Go timers
+// never fire early, so they qualify by construction). Safety — that
+// Leader always returns some process id — needs no assumption at all.
+package omegasm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"omegasm/internal/core"
+	"omegasm/internal/rt"
+	"omegasm/internal/shmem"
+)
+
+// Algorithm selects which of the paper's algorithms a Cluster runs.
+type Algorithm int
+
+// The available algorithms.
+const (
+	// WriteEfficient is the paper's Figure 2 algorithm: a single eventual
+	// writer; all shared variables but one bounded.
+	WriteEfficient Algorithm = iota + 1
+	// Bounded is the paper's Figure 5 algorithm: every shared variable
+	// bounded; every live process writes forever.
+	Bounded
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case WriteEfficient:
+		return "WriteEfficient"
+	case Bounded:
+		return "Bounded"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// N is the number of processes (>= 2).
+	N int
+	// Algorithm selects the election algorithm; default WriteEfficient.
+	Algorithm Algorithm
+	// StepInterval is the pause between main-loop iterations of each
+	// process; default 200us. Smaller values elect faster and write more.
+	StepInterval time.Duration
+	// TimerUnit converts the algorithms' abstract timeout values into
+	// real durations; default 2ms.
+	TimerUnit time.Duration
+	// Instrument enables the shared-memory access census (Stats); it
+	// costs a mutex acquisition per register access.
+	Instrument bool
+}
+
+// Cluster is a running set of Omega processes over one shared memory.
+type Cluster struct {
+	cfg Config
+	mem *shmem.AtomicMem
+	rt  *rt.Runtime
+}
+
+// New validates cfg and builds a stopped Cluster; call Start to run it.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("omegasm: need at least 2 processes, got %d", cfg.N)
+	}
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = WriteEfficient
+	}
+	mem := shmem.NewAtomicMem(cfg.N, cfg.Instrument)
+	procs := make([]rt.Proc, cfg.N)
+	switch cfg.Algorithm {
+	case WriteEfficient:
+		for i, p := range core.BuildAlgo1(mem, cfg.N) {
+			procs[i] = p
+		}
+	case Bounded:
+		for i, p := range core.BuildAlgo2(mem, cfg.N) {
+			procs[i] = p
+		}
+	default:
+		return nil, fmt.Errorf("omegasm: unknown algorithm %v", cfg.Algorithm)
+	}
+	run, err := rt.New(rt.Config{
+		StepInterval: cfg.StepInterval,
+		TimerUnit:    cfg.TimerUnit,
+	}, procs)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: cfg, mem: mem, rt: run}, nil
+}
+
+// Start launches the cluster's processes. It may be called once.
+func (c *Cluster) Start() error { return c.rt.Start() }
+
+// Stop halts every process and joins all goroutines. Idempotent.
+func (c *Cluster) Stop() { c.rt.Stop() }
+
+// N returns the number of processes.
+func (c *Cluster) N() int { return c.rt.N() }
+
+// Leader returns process i's current leader estimate.
+func (c *Cluster) Leader(i int) (int, error) { return c.rt.Leader(i) }
+
+// AgreedLeader returns the common leader estimate of all live processes,
+// or (-1, false) while they disagree.
+func (c *Cluster) AgreedLeader() (int, bool) { return c.rt.AgreedLeader() }
+
+// WaitForAgreement blocks until every live process agrees on a live
+// leader, or the timeout elapses.
+func (c *Cluster) WaitForAgreement(timeout time.Duration) (int, bool) {
+	return c.rt.WaitForAgreement(timeout)
+}
+
+// Crash stops process i, simulating a crash-stop failure. The survivors
+// re-elect; crashed processes never recover.
+func (c *Cluster) Crash(i int) error { return c.rt.Crash(i) }
+
+// Crashed reports whether process i has been crashed.
+func (c *Cluster) Crashed(i int) bool { return c.rt.Crashed(i) }
+
+// LeadershipEvent reports a change in the cluster-wide agreement state,
+// as observed by Watch.
+type LeadershipEvent struct {
+	// Leader is the agreed leader, or -1 while the live processes
+	// disagree (the oracle's anarchy periods).
+	Leader int
+	// Agreed is false during anarchy periods.
+	Agreed bool
+	// At is when the change was observed.
+	At time.Time
+}
+
+// Watch polls the cluster's agreement state every interval (default 1ms)
+// and delivers an event whenever it changes: agreement reached, leader
+// changed, or agreement lost. Callers must call cancel when done — the
+// watcher goroutine runs until then (Stop does not end it) and closes the
+// channel on exit. Slow receivers miss intermediate events rather than
+// blocking the watcher (the channel always carries the most recent
+// change).
+func (c *Cluster) Watch(interval time.Duration) (events <-chan LeadershipEvent, cancel func()) {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ch := make(chan LeadershipEvent, 1)
+	stop := make(chan struct{})
+	var once sync.Once
+	go func() {
+		defer close(ch)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		last := LeadershipEvent{Leader: -2} // sentinel: differs from any real state
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				leader, agreed := c.AgreedLeader()
+				if agreed == last.Agreed && leader == last.Leader {
+					continue
+				}
+				ev := LeadershipEvent{Leader: leader, Agreed: agreed, At: time.Now()}
+				last = ev
+				// Latest-wins delivery: drop the stale undelivered event.
+				select {
+				case ch <- ev:
+				default:
+					select {
+					case <-ch:
+					default:
+					}
+					select {
+					case ch <- ev:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	return ch, func() { once.Do(func() { close(stop) }) }
+}
+
+// RegisterStats describes one shared register's access counts.
+type RegisterStats struct {
+	Name     string
+	Owner    int
+	Reads    uint64
+	Writes   uint64
+	MaxValue uint64
+}
+
+// Stats summarizes the cluster's shared-memory accesses. It returns nil
+// unless Config.Instrument was set.
+type Stats struct {
+	// Writers[p] is the total number of register writes by process p;
+	// Readers[p] the total reads.
+	Writers []uint64
+	Readers []uint64
+	// Registers lists per-register detail, unordered.
+	Registers []RegisterStats
+	// TotalBits is the shared-memory footprint: bits needed to hold the
+	// largest value each register ever carried, summed.
+	TotalBits int
+}
+
+// Stats snapshots the access census, or returns nil if instrumentation is
+// off.
+func (c *Cluster) Stats() *Stats {
+	if !c.cfg.Instrument {
+		return nil
+	}
+	snap := c.mem.Census().Snapshot()
+	s := &Stats{
+		Writers:   make([]uint64, c.cfg.N),
+		Readers:   make([]uint64, c.cfg.N),
+		TotalBits: snap.TotalBits(),
+	}
+	for _, r := range snap.Regs {
+		for p := range r.WritesBy {
+			s.Writers[p] += r.WritesBy[p]
+			s.Readers[p] += r.ReadsBy[p]
+		}
+		s.Registers = append(s.Registers, RegisterStats{
+			Name:     r.Name,
+			Owner:    r.Owner,
+			Reads:    r.TotalReads(),
+			Writes:   r.TotalWrites(),
+			MaxValue: r.MaxValue,
+		})
+	}
+	return s
+}

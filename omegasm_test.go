@@ -1,0 +1,193 @@
+package omegasm_test
+
+import (
+	"testing"
+	"time"
+
+	"omegasm"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := omegasm.New(omegasm.Config{N: 1}); err == nil {
+		t.Error("N=1 accepted")
+	}
+	if _, err := omegasm.New(omegasm.Config{N: 3, Algorithm: omegasm.Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if omegasm.WriteEfficient.String() != "WriteEfficient" {
+		t.Error(omegasm.WriteEfficient.String())
+	}
+	if omegasm.Bounded.String() != "Bounded" {
+		t.Error(omegasm.Bounded.String())
+	}
+	if omegasm.Algorithm(9).String() != "Algorithm(9)" {
+		t.Error(omegasm.Algorithm(9).String())
+	}
+}
+
+func startCluster(t *testing.T, cfg omegasm.Config) *omegasm.Cluster {
+	t.Helper()
+	c, err := omegasm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestClusterElection(t *testing.T) {
+	for _, algo := range []omegasm.Algorithm{omegasm.WriteEfficient, omegasm.Bounded} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			c := startCluster(t, omegasm.Config{
+				N:            4,
+				Algorithm:    algo,
+				StepInterval: 100 * time.Microsecond,
+				TimerUnit:    time.Millisecond,
+			})
+			leader, ok := c.WaitForAgreement(10 * time.Second)
+			if !ok {
+				t.Fatal("no agreement")
+			}
+			if l, err := c.Leader(leader); err != nil || l != leader {
+				t.Errorf("leader's own estimate: %d, %v", l, err)
+			}
+			if c.N() != 4 {
+				t.Errorf("N() = %d", c.N())
+			}
+		})
+	}
+}
+
+func TestClusterCrashReElection(t *testing.T) {
+	c := startCluster(t, omegasm.Config{
+		N:            4,
+		StepInterval: 100 * time.Microsecond,
+		TimerUnit:    time.Millisecond,
+	})
+	leader, ok := c.WaitForAgreement(10 * time.Second)
+	if !ok {
+		t.Fatal("no agreement")
+	}
+	if err := c.Crash(leader); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Crashed(leader) {
+		t.Error("Crashed() false")
+	}
+	next, ok := c.WaitForAgreement(20 * time.Second)
+	if !ok {
+		t.Fatal("no re-election")
+	}
+	if next == leader {
+		t.Fatalf("crashed leader %d re-elected", leader)
+	}
+}
+
+func TestStatsRequiresInstrumentation(t *testing.T) {
+	c := startCluster(t, omegasm.Config{N: 2})
+	if c.Stats() != nil {
+		t.Error("Stats() non-nil without Instrument")
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	c := startCluster(t, omegasm.Config{
+		N:            3,
+		Instrument:   true,
+		StepInterval: 100 * time.Microsecond,
+		TimerUnit:    time.Millisecond,
+	})
+	if _, ok := c.WaitForAgreement(10 * time.Second); !ok {
+		t.Fatal("no agreement")
+	}
+	s := c.Stats()
+	if s == nil {
+		t.Fatal("Stats() nil with Instrument")
+	}
+	if len(s.Writers) != 3 || len(s.Readers) != 3 {
+		t.Fatalf("per-process slices sized %d/%d", len(s.Writers), len(s.Readers))
+	}
+	// Algorithm 1 on 3 processes: suspicions 9 + progress 3 + stop 3.
+	if len(s.Registers) != 15 {
+		t.Errorf("register count = %d, want 15", len(s.Registers))
+	}
+	if s.TotalBits < 15 {
+		t.Errorf("TotalBits = %d, implausibly small", s.TotalBits)
+	}
+	var anyWrites uint64
+	for _, w := range s.Writers {
+		anyWrites += w
+	}
+	if anyWrites == 0 {
+		t.Error("no writes recorded after an election")
+	}
+}
+
+func TestWatchObservesFailover(t *testing.T) {
+	c := startCluster(t, omegasm.Config{
+		N:            4,
+		StepInterval: 100 * time.Microsecond,
+		TimerUnit:    time.Millisecond,
+	})
+	events, cancel := c.Watch(200 * time.Microsecond)
+	defer cancel()
+
+	waitEvent := func(match func(omegasm.LeadershipEvent) bool) (omegasm.LeadershipEvent, bool) {
+		deadline := time.After(15 * time.Second)
+		for {
+			select {
+			case ev, ok := <-events:
+				if !ok {
+					return omegasm.LeadershipEvent{}, false
+				}
+				if match(ev) {
+					return ev, true
+				}
+			case <-deadline:
+				return omegasm.LeadershipEvent{}, false
+			}
+		}
+	}
+
+	first, ok := waitEvent(func(e omegasm.LeadershipEvent) bool { return e.Agreed })
+	if !ok {
+		t.Fatal("never observed agreement")
+	}
+	if err := c.Crash(first.Leader); err != nil {
+		t.Fatal(err)
+	}
+	next, ok := waitEvent(func(e omegasm.LeadershipEvent) bool {
+		return e.Agreed && e.Leader != first.Leader
+	})
+	if !ok {
+		t.Fatal("never observed failover")
+	}
+	if next.Leader == first.Leader {
+		t.Fatalf("failover to the crashed leader %d", next.Leader)
+	}
+}
+
+func TestWatchCancelClosesChannel(t *testing.T) {
+	c := startCluster(t, omegasm.Config{N: 2})
+	events, cancel := c.Watch(0) // default interval
+	cancel()
+	cancel() // idempotent
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-events:
+			if !ok {
+				return // closed as promised
+			}
+		case <-deadline:
+			t.Fatal("channel not closed after cancel")
+		}
+	}
+}
