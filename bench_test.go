@@ -8,8 +8,11 @@
 package omegasm_test
 
 import (
+	"sync"
 	"testing"
+	"time"
 
+	"omegasm"
 	"omegasm/internal/consensus"
 	"omegasm/internal/core"
 	"omegasm/internal/harness"
@@ -207,6 +210,100 @@ func BenchmarkAtomicRegister(b *testing.B) {
 		r.Write(0, uint64(i))
 		_ = r.Read(1)
 	}
+}
+
+// BenchmarkCensusContention compares instrumented register-access
+// throughput under the retired global-mutex census and the lock-free
+// census, with 8 concurrent processes hammering the registers while a
+// monitor snapshots (the shape of an instrumented, stats-polled cluster).
+// `go test -bench CensusContention` shows the ns/op gap; the calibrated
+// throughput/speedup numbers come from `omegabench -bench`.
+func BenchmarkCensusContention(b *testing.B) {
+	const procs = 8
+	b.Run("mutex", func(b *testing.B) {
+		benchContended(b, harness.MutexCensusWorkload(procs))
+	})
+	b.Run("lockfree", func(b *testing.B) {
+		benchContended(b, harness.LockFreeCensusWorkload(procs))
+	})
+}
+
+// benchContended splits b.N iterations across the workload's goroutines
+// with a concurrent snapshot monitor polling every 100us (a realistic
+// stats poller); one iteration is one write plus a procs-wide read scan.
+func benchContended(b *testing.B, w harness.CensusWorkload) {
+	b.ReportAllocs()
+	stop := make(chan struct{})
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		ticker := time.NewTicker(100 * time.Microsecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				w.Snapshot()
+			}
+		}
+	}()
+	per := b.N/w.Procs + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for pid := 0; pid < w.Procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				w.Access(pid, k)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(stop)
+	monWG.Wait()
+}
+
+// BenchmarkFleetLeaderQueries measures the Fleet's cached Leader fast
+// path: 4 running clusters of 3 processes each, queried from parallel
+// goroutines. The answer is one atomic load, so ns/op should stay flat no
+// matter how many queriers pile on.
+func BenchmarkFleetLeaderQueries(b *testing.B) {
+	f, err := omegasm.NewFleet(omegasm.FleetConfig{
+		Clusters: 4,
+		Cluster: omegasm.Config{
+			N:            3,
+			StepInterval: 100 * time.Microsecond,
+			TimerUnit:    time.Millisecond,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer f.Stop()
+	if _, ok := f.WaitForAgreement(20 * time.Second); !ok {
+		b.Fatal("fleet did not agree")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			// Transient anarchy (ok=false) is legitimate — Omega is only
+			// eventually stable — so only validate the answer's range.
+			if l, ok := f.Leader(i & 3); ok && (l < 0 || l >= 3) {
+				b.Errorf("leader out of range: %d", l)
+				return
+			}
+			i++
+		}
+	})
 }
 
 // BenchmarkConsensusDecide measures a full single-proposer consensus

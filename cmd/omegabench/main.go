@@ -5,6 +5,13 @@
 // Usage:
 //
 //	omegabench [-quick] [-seeds N] [-out FILE]
+//	omegabench -bench [-benchdir DIR] [-benchdur D]
+//
+// With -bench it instead runs the performance benchmarks of the
+// instrumentation and query layers and writes machine-readable
+// BENCH_<name>.json files (census contention: lock-free vs global-mutex
+// census; fleet leader queries: the cached multi-cluster fast path), so
+// the perf trajectory is recorded run over run.
 package main
 
 import (
@@ -12,7 +19,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"omegasm"
 	"omegasm/internal/harness"
 )
 
@@ -24,7 +35,14 @@ func run() int {
 	quick := flag.Bool("quick", false, "smaller horizons and seed counts")
 	seeds := flag.Int("seeds", 0, "seeded repetitions per data point (0: default)")
 	out := flag.String("out", "", "also write the report to this file")
+	bench := flag.Bool("bench", false, "run the perf benchmarks and emit BENCH_*.json instead of the experiments")
+	benchdir := flag.String("benchdir", ".", "directory for BENCH_*.json files")
+	benchdur := flag.Duration("benchdur", 300*time.Millisecond, "measurement window per benchmark point")
 	flag.Parse()
+
+	if *bench {
+		return runBench(*benchdir, *benchdur)
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -70,4 +88,101 @@ func run() int {
 	}
 	fmt.Fprintf(w, "omegabench: all experiments passed\n")
 	return 0
+}
+
+// runBench measures the instrumentation and query layers and writes one
+// BENCH_*.json per benchmark.
+func runBench(dir string, dur time.Duration) int {
+	fmt.Printf("census contention (monitored, %v per point):\n", dur)
+	var censusPoints []harness.CensusContentionPoint
+	for _, procs := range []int{2, 4, 8, 16} {
+		pt := harness.BenchCensusContention(procs, dur)
+		censusPoints = append(censusPoints, pt)
+		fmt.Printf("  procs=%2d  mutex=%8.2fM ops/s  lockfree=%8.2fM ops/s  speedup=%.2fx\n",
+			pt.Procs, pt.MutexOpsPerSec/1e6, pt.LockFreeOpsPerSec/1e6, pt.Speedup)
+	}
+	path, err := harness.WriteBenchJSON(dir, harness.BenchReport{
+		Name:   "census_contention",
+		Unit:   "instrumented register accesses/sec (all processes)",
+		Points: censusPoints,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n\n", path)
+
+	fmt.Printf("fleet leader queries (%v per point):\n", dur)
+	var fleetPoints []harness.FleetQueryPoint
+	for _, clusters := range []int{1, 4, 8} {
+		pt, err := benchFleetQueries(clusters, 3, 8, dur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omegabench: fleet bench: %v\n", err)
+			return 1
+		}
+		fleetPoints = append(fleetPoints, pt)
+		fmt.Printf("  clusters=%2d  %8.2fM queries/s (%d queriers)\n",
+			pt.Clusters, pt.QueriesPerSec/1e6, pt.Queriers)
+	}
+	path, err = harness.WriteBenchJSON(dir, harness.BenchReport{
+		Name:   "fleet_leader_queries",
+		Unit:   "Leader() queries/sec (all queriers)",
+		Points: fleetPoints,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// benchFleetQueries starts a fleet and hammers the cached Leader fast path
+// from queriers goroutines for dur.
+func benchFleetQueries(clusters, n, queriers int, dur time.Duration) (harness.FleetQueryPoint, error) {
+	f, err := omegasm.NewFleet(omegasm.FleetConfig{
+		Clusters: clusters,
+		Cluster: omegasm.Config{
+			N:            n,
+			StepInterval: 100 * time.Microsecond,
+			TimerUnit:    time.Millisecond,
+		},
+	})
+	if err != nil {
+		return harness.FleetQueryPoint{}, err
+	}
+	if err := f.Start(); err != nil {
+		return harness.FleetQueryPoint{}, err
+	}
+	defer f.Stop()
+	if _, ok := f.WaitForAgreement(20 * time.Second); !ok {
+		return harness.FleetQueryPoint{}, fmt.Errorf("fleet of %d clusters did not agree", clusters)
+	}
+
+	var stop atomic.Bool
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			var count int64
+			for i := 0; !stop.Load(); i++ {
+				f.Leader((q + i) % clusters)
+				count++
+			}
+			total.Add(count)
+		}(q)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return harness.FleetQueryPoint{
+		Clusters:        clusters,
+		ProcsPerCluster: n,
+		Queriers:        queriers,
+		QueriesPerSec:   float64(total.Load()) / elapsed,
+	}, nil
 }

@@ -1,0 +1,195 @@
+package omegasm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FleetConfig parameterizes a Fleet.
+type FleetConfig struct {
+	// Clusters is the number of independent Omega clusters (>= 1).
+	Clusters int
+	// Cluster is the per-cluster configuration; every cluster runs the
+	// same one (its N, Algorithm, intervals, instrumentation).
+	Cluster Config
+	// RefreshInterval is how often the fleet refreshes its cached
+	// per-cluster agreement view; default 200us. Leader answers are at
+	// most this stale.
+	RefreshInterval time.Duration
+}
+
+// Fleet runs many independent Omega clusters concurrently — the
+// multi-tenant deployment shape, where each cluster elects a leader for
+// one replicated object — and answers Leader queries from a read-mostly
+// fast path: a background refresher folds each cluster's agreement state
+// into one packed atomic word, so a query is a single atomic load
+// regardless of cluster size or query rate.
+type Fleet struct {
+	cfg      FleetConfig
+	clusters []*Cluster
+	// view[i] is cluster i's packed agreement word, see packView.
+	view []atomic.Uint64
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// packView encodes an AgreedLeader result in one word: bit 63 set when the
+// cluster's live processes agree, low bits the leader id.
+func packView(leader int, agreed bool) uint64 {
+	if !agreed {
+		return 0
+	}
+	return 1<<63 | uint64(leader)
+}
+
+func unpackView(w uint64) (leader int, agreed bool) {
+	if w&(1<<63) == 0 {
+		return -1, false
+	}
+	return int(w &^ (1 << 63)), true
+}
+
+// NewFleet validates cfg and builds a stopped Fleet; call Start to run it.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Clusters < 1 {
+		return nil, fmt.Errorf("omegasm: need at least 1 cluster, got %d", cfg.Clusters)
+	}
+	if cfg.RefreshInterval <= 0 {
+		cfg.RefreshInterval = 200 * time.Microsecond
+	}
+	f := &Fleet{
+		cfg:  cfg,
+		view: make([]atomic.Uint64, cfg.Clusters),
+		stop: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Clusters; i++ {
+		c, err := New(cfg.Cluster)
+		if err != nil {
+			return nil, fmt.Errorf("omegasm: fleet cluster %d: %w", i, err)
+		}
+		f.clusters = append(f.clusters, c)
+	}
+	return f, nil
+}
+
+// Start launches every cluster and the view refresher. It may be called
+// once.
+func (f *Fleet) Start() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return fmt.Errorf("omegasm: fleet already started")
+	}
+	f.started = true
+	for i, c := range f.clusters {
+		if err := c.Start(); err != nil {
+			for _, prev := range f.clusters[:i] {
+				prev.Stop()
+			}
+			return err
+		}
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		ticker := time.NewTicker(f.cfg.RefreshInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-ticker.C:
+				for i := range f.clusters {
+					f.refresh(i)
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// refresh folds cluster i's live agreement state into the cached view.
+func (f *Fleet) refresh(i int) {
+	leader, agreed := f.clusters[i].AgreedLeader()
+	f.view[i].Store(packView(leader, agreed))
+}
+
+// Stop halts the refresher and every cluster. Idempotent.
+func (f *Fleet) Stop() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stopped {
+		return
+	}
+	f.stopped = true
+	close(f.stop)
+	f.wg.Wait()
+	for _, c := range f.clusters {
+		c.Stop()
+	}
+}
+
+// Clusters returns the number of clusters in the fleet.
+func (f *Fleet) Clusters() int { return len(f.clusters) }
+
+// Cluster returns cluster i for direct access (Stats, Crash, Watch, ...),
+// or nil if out of range.
+func (f *Fleet) Cluster(i int) *Cluster {
+	if i < 0 || i >= len(f.clusters) {
+		return nil
+	}
+	return f.clusters[i]
+}
+
+// Leader returns cluster i's agreed leader from the cached view: a single
+// atomic load, safe to call at arbitrary rates from any number of
+// goroutines. ok is false while the cluster's live processes disagree (or
+// before the first refresh); the answer is at most RefreshInterval stale.
+func (f *Fleet) Leader(i int) (leader int, ok bool) {
+	if i < 0 || i >= len(f.clusters) {
+		return -1, false
+	}
+	return unpackView(f.view[i].Load())
+}
+
+// Crash crashes process p of cluster i, and refreshes that cluster's view
+// immediately so queries stop naming a dead leader as soon as the
+// survivors re-elect.
+func (f *Fleet) Crash(i, p int) error {
+	if i < 0 || i >= len(f.clusters) {
+		return fmt.Errorf("omegasm: no cluster %d", i)
+	}
+	if err := f.clusters[i].Crash(p); err != nil {
+		return err
+	}
+	f.refresh(i)
+	return nil
+}
+
+// WaitForAgreement blocks until every cluster's live processes agree on a
+// live leader (refreshing the cached view as each cluster settles), or the
+// timeout elapses. It returns the per-cluster leaders and whether all
+// clusters agreed in time.
+func (f *Fleet) WaitForAgreement(timeout time.Duration) ([]int, bool) {
+	leaders := make([]int, len(f.clusters))
+	deadline := time.Now().Add(timeout)
+	for i, c := range f.clusters {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return leaders, false
+		}
+		l, ok := c.WaitForAgreement(remain)
+		if !ok {
+			return leaders, false
+		}
+		leaders[i] = l
+		f.refresh(i)
+	}
+	return leaders, true
+}

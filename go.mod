@@ -1,0 +1,3 @@
+module omegasm
+
+go 1.24

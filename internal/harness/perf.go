@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omegasm/internal/shmem"
+)
+
+// Perf measurement for the instrumentation layer itself (as opposed to the
+// paper experiments): BenchCensusContention quantifies what the lock-free
+// census buys over the retired global-mutex design under the monitored
+// multi-process workload the motivation describes — N processes of a live
+// cluster each scanning registers every step while a Stats poller
+// snapshots concurrently. `omegabench -bench` runs these and emits the
+// machine-readable BENCH_*.json files that record the perf trajectory.
+
+// CensusContentionPoint is one data point of the census contention
+// benchmark: the same monitored workload run against the mutex census and
+// the lock-free census.
+type CensusContentionPoint struct {
+	// Procs is the number of concurrently accessing processes.
+	Procs int `json:"procs"`
+	// Registers is how many registers the workload touches (the Algorithm
+	// 1 shape for Procs processes: SUSPICIONS + PROGRESS + STOP).
+	Registers int `json:"registers"`
+	// MutexOpsPerSec and LockFreeOpsPerSec are instrumented register
+	// accesses per second, summed over all processes.
+	MutexOpsPerSec    float64 `json:"mutex_ops_per_sec"`
+	LockFreeOpsPerSec float64 `json:"lockfree_ops_per_sec"`
+	// Speedup is LockFreeOpsPerSec / MutexOpsPerSec.
+	Speedup float64 `json:"speedup"`
+}
+
+// FleetQueryPoint is one data point of the fleet leader-query benchmark.
+type FleetQueryPoint struct {
+	Clusters        int     `json:"clusters"`
+	ProcsPerCluster int     `json:"procs_per_cluster"`
+	Queriers        int     `json:"queriers"`
+	QueriesPerSec   float64 `json:"queries_per_sec"`
+}
+
+// BenchReport is the envelope of a BENCH_*.json file.
+type BenchReport struct {
+	// Name identifies the benchmark ("census_contention", ...).
+	Name string `json:"name"`
+	// Unit describes what the points' throughput numbers count.
+	Unit       string `json:"unit"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Timestamp  string `json:"timestamp"`
+	// Points holds CensusContentionPoint or FleetQueryPoint values.
+	Points any `json:"points"`
+}
+
+// WriteBenchJSON writes report to dir/BENCH_<name>.json and returns the
+// path.
+func WriteBenchJSON(dir string, report BenchReport) (string, error) {
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.NumCPU = runtime.NumCPU()
+	if report.Timestamp == "" {
+		report.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+report.Name+".json")
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CensusWorkload is the contention workload shape over one census
+// implementation, shared by `omegabench -bench` and the Go benchmarks in
+// bench_test.go so both measure the same thing. Access performs process
+// pid's iteration k — one write to its own register plus a procs-wide read
+// scan, the Algorithm 1 step shape — and Snapshot is what the concurrent
+// stats monitor calls.
+type CensusWorkload struct {
+	Procs     int
+	Registers int
+	Access    func(pid, k int)
+	Snapshot  func()
+}
+
+// censusWorkloadRegs is the Algorithm 1 register count for procs
+// processes: SUSPICIONS (procs^2) + PROGRESS + STOP.
+func censusWorkloadRegs(procs int) int { return procs*procs + 2*procs }
+
+// MutexCensusWorkload builds the workload over the retired global-mutex
+// census baseline.
+func MutexCensusWorkload(procs int) CensusWorkload {
+	nregs := censusWorkloadRegs(procs)
+	c := shmem.NewMutexCensus(procs, nil)
+	regs := make([]*shmem.MutexRegStats, nregs)
+	for i := range regs {
+		regs[i] = c.Track("X", shmem.RegName("X", i), i%procs)
+	}
+	return CensusWorkload{
+		Procs:     procs,
+		Registers: nregs,
+		Access: func(pid, k int) {
+			c.NoteWrite(regs[pid], pid, uint64(k))
+			for j := 0; j < procs; j++ {
+				c.NoteRead(regs[(pid+j)%nregs], pid)
+			}
+		},
+		Snapshot: func() { c.SnapshotAll(regs) },
+	}
+}
+
+// LockFreeCensusWorkload builds the workload over the lock-free census.
+func LockFreeCensusWorkload(procs int) CensusWorkload {
+	nregs := censusWorkloadRegs(procs)
+	c := shmem.NewCensus(procs, nil)
+	regs := make([]*shmem.RegStats, nregs)
+	for i := range regs {
+		regs[i] = c.Track("X", shmem.RegName("X", i), i%procs)
+	}
+	return CensusWorkload{
+		Procs:     procs,
+		Registers: nregs,
+		Access: func(pid, k int) {
+			c.NoteWrite(regs[pid], pid, uint64(k))
+			for j := 0; j < procs; j++ {
+				c.NoteRead(regs[(pid+j)%nregs], pid)
+			}
+		},
+		Snapshot: func() { c.Snapshot() },
+	}
+}
+
+// BenchCensusContention measures instrumented register-access throughput
+// for procs concurrent processes under a live Stats monitor, against both
+// census implementations (the workload of CensusWorkload; the monitor
+// snapshots continuously, as a Fleet stats poller would).
+//
+// GOMAXPROCS is raised to procs+1 for the duration (and restored) so the
+// measurement reflects a host with one core per process: the design target
+// is hardware-speed multi-core operation, and on a starved host the mutex
+// census would look artificially healthy because the scheduler, not the
+// lock, does the serializing.
+func BenchCensusContention(procs int, dur time.Duration) CensusContentionPoint {
+	prev := runtime.GOMAXPROCS(0)
+	if procs+1 > prev {
+		runtime.GOMAXPROCS(procs + 1)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	mutexOps := contendedThroughput(MutexCensusWorkload(procs), dur)
+	lockfreeOps := contendedThroughput(LockFreeCensusWorkload(procs), dur)
+
+	return CensusContentionPoint{
+		Procs:             procs,
+		Registers:         censusWorkloadRegs(procs),
+		MutexOpsPerSec:    mutexOps,
+		LockFreeOpsPerSec: lockfreeOps,
+		Speedup:           lockfreeOps / mutexOps,
+	}
+}
+
+// contendedThroughput runs the workload's accessors and monitor for dur
+// and returns register accesses per second.
+func contendedThroughput(w CensusWorkload, dur time.Duration) float64 {
+	return contendedRun(w.Procs, dur,
+		func(pid int, stop *atomic.Bool) int64 {
+			var ops int64
+			for k := 0; !stop.Load(); k++ {
+				w.Access(pid, k)
+				ops += int64(w.Procs) + 1
+			}
+			return ops
+		},
+		func(stop *atomic.Bool) {
+			for !stop.Load() {
+				w.Snapshot()
+			}
+		})
+}
+
+// contendedRun drives procs worker goroutines plus one monitor goroutine
+// for dur and returns the workers' summed throughput in ops per second.
+func contendedRun(procs int, dur time.Duration, worker func(int, *atomic.Bool) int64, monitor func(*atomic.Bool)) float64 {
+	var stop atomic.Bool
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			total.Add(worker(pid, &stop))
+		}(pid)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		monitor(&stop)
+	}()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return float64(total.Load()) / time.Since(start).Seconds()
+}

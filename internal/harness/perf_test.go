@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestBenchCensusContentionShape(t *testing.T) {
+	pt := BenchCensusContention(2, 10*time.Millisecond)
+	if pt.Procs != 2 || pt.Registers != 2*2+2*2 {
+		t.Errorf("point shape: %+v", pt)
+	}
+	if pt.MutexOpsPerSec <= 0 || pt.LockFreeOpsPerSec <= 0 || pt.Speedup <= 0 {
+		t.Errorf("non-positive throughput: %+v", pt)
+	}
+}
+
+func TestWriteBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteBenchJSON(dir, BenchReport{
+		Name:   "census_contention",
+		Unit:   "register accesses/sec",
+		Points: []CensusContentionPoint{{Procs: 2, Speedup: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_census_contention.json" {
+		t.Errorf("path = %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if back.Name != "census_contention" || back.GoMaxProcs < 1 || back.Timestamp == "" {
+		t.Errorf("envelope = %+v", back)
+	}
+}

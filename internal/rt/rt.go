@@ -24,6 +24,7 @@ package rt
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"omegasm/internal/vclock"
@@ -71,13 +72,23 @@ type node struct {
 	rt   *Runtime
 	proc Proc
 
-	mu      sync.Mutex // guards proc's local state across tasks
-	crashed bool
+	mu sync.Mutex // guards proc's local state across tasks
+
+	// leaderEst is the node's published leader estimate, re-published
+	// after every Step/OnTimer. Leader queries read it without touching
+	// mu, so high-rate oracle queries (the Fleet fast path) never contend
+	// with the algorithm's own tasks.
+	leaderEst atomic.Int64
+	crashed   atomic.Bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
 }
+
+// publish refreshes the node's lock-free leader estimate; called with mu
+// held, right after the proc took a step.
+func (n *node) publish() { n.leaderEst.Store(int64(n.proc.Leader())) }
 
 // New builds a runtime over the given processes.
 func New(cfg Config, procs []Proc) (*Runtime, error) {
@@ -87,7 +98,9 @@ func New(cfg Config, procs []Proc) (*Runtime, error) {
 	cfg.normalize()
 	r := &Runtime{cfg: cfg, start: time.Now()}
 	for _, p := range procs {
-		r.nodes = append(r.nodes, &node{rt: r, proc: p, stop: make(chan struct{})})
+		n := &node{rt: r, proc: p, stop: make(chan struct{})}
+		n.leaderEst.Store(int64(p.Leader()))
+		r.nodes = append(r.nodes, n)
 	}
 	return r, nil
 }
@@ -142,41 +155,34 @@ func (r *Runtime) Crashed(i int) bool {
 	if i < 0 || i >= len(r.nodes) {
 		return true
 	}
-	n := r.nodes[i]
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.crashed
+	return r.nodes[i].crashed.Load()
 }
 
-// Leader returns process i's current leader estimate (task T1).
+// Leader returns process i's current leader estimate (task T1). It reads
+// the node's published estimate — a single atomic load, never blocking on
+// the process's own tasks — so oracle queries scale with readers.
 func (r *Runtime) Leader(i int) (int, error) {
 	if i < 0 || i >= len(r.nodes) {
 		return -1, fmt.Errorf("rt: no process %d", i)
 	}
-	n := r.nodes[i]
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.proc.Leader(), nil
+	return int(r.nodes[i].leaderEst.Load()), nil
 }
 
 // AgreedLeader returns the common leader estimate of all live processes,
-// or (-1, false) while they disagree.
+// or (-1, false) while they disagree. Lock-free: it scans the published
+// estimates.
 func (r *Runtime) AgreedLeader() (int, bool) {
 	leader := -1
-	for i, n := range r.nodes {
-		n.mu.Lock()
-		crashed := n.crashed
-		l := n.proc.Leader()
-		n.mu.Unlock()
-		if crashed {
+	for _, n := range r.nodes {
+		if n.crashed.Load() {
 			continue
 		}
+		l := int(n.leaderEst.Load())
 		if leader == -1 {
 			leader = l
 		} else if leader != l {
 			return -1, false
 		}
-		_ = i
 	}
 	return leader, leader != -1
 }
@@ -211,6 +217,7 @@ func (n *node) run() {
 			case <-ticker.C:
 				n.mu.Lock()
 				n.proc.Step(n.rt.now())
+				n.publish()
 				n.mu.Unlock()
 			}
 		}
@@ -229,6 +236,7 @@ func (n *node) run() {
 			case <-timer.C:
 				n.mu.Lock()
 				x := n.proc.OnTimer(n.rt.now())
+				n.publish()
 				n.mu.Unlock()
 				if x == 0 {
 					return // timer-free variant: never re-arm
@@ -241,9 +249,7 @@ func (n *node) run() {
 
 func (n *node) halt() {
 	n.once.Do(func() {
-		n.mu.Lock()
-		n.crashed = true
-		n.mu.Unlock()
+		n.crashed.Store(true)
 		close(n.stop)
 	})
 }

@@ -1,6 +1,7 @@
 package rt_test
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -143,18 +144,76 @@ func TestRTWriteEfficiencyLive(t *testing.T) {
 	if !ok {
 		t.Fatal("no agreement")
 	}
-	// Let the anarchy fully drain, then census a settled window.
+	// Let the anarchy fully drain, then census settled windows. A loaded
+	// machine can churn leadership mid-window (a suspicion timeout fires),
+	// which legitimately adds writers — Theorem 3 speaks only about
+	// windows with stable leadership — so retry a few windows and demand
+	// one clean one. A real write-efficiency regression (a non-leader
+	// writing in steady state) dirties every window and still fails.
 	time.Sleep(200 * time.Millisecond)
-	if l2, ok := r.AgreedLeader(); !ok || l2 != leader {
-		t.Skip("leadership churned during settling; timing-sensitive on loaded machines")
+	var writers []int
+	for attempt := 0; attempt < 5; attempt++ {
+		leader, ok = r.WaitForAgreement(5 * time.Second)
+		if !ok {
+			t.Fatal("agreement lost and not regained")
+		}
+		before := mem.Census().Snapshot()
+		time.Sleep(100 * time.Millisecond)
+		diff := mem.Census().Snapshot().Diff(before)
+		writers = diff.Writers()
+		if l2, ok := r.AgreedLeader(); !ok || l2 != leader {
+			continue // churned mid-window: void, retry
+		}
+		if len(writers) == 1 && writers[0] == leader {
+			return
+		}
 	}
-	before := mem.Census().Snapshot()
-	time.Sleep(100 * time.Millisecond)
-	diff := mem.Census().Snapshot().Diff(before)
-	writers := diff.Writers()
-	if len(writers) != 1 || writers[0] != leader {
-		t.Errorf("settled-window writers = %v, want [%d]", writers, leader)
+	t.Errorf("no settled window with writers = [leader] in 5 attempts; last writers = %v, leader %d", writers, leader)
+}
+
+// TestRTLeaderQueriesLockFree hammers Leader/AgreedLeader/Crashed from
+// many goroutines while the cluster runs and a crash happens mid-stream:
+// the queries read published atomics, so under -race this proves the
+// oracle fast path never races with the algorithm's tasks.
+func TestRTLeaderQueriesLockFree(t *testing.T) {
+	r, _ := liveCluster(t, 4, "algo1")
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
 	}
+	defer r.Stop()
+	leader, ok := r.WaitForAgreement(10 * time.Second)
+	if !ok {
+		t.Fatal("no agreement")
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if l, err := r.Leader((g + i) % 4); err != nil || l < 0 || l >= 4 {
+					t.Errorf("Leader = %d, %v", l, err)
+					return
+				}
+				r.AgreedLeader()
+				r.Crashed(i % 4)
+			}
+		}(g)
+	}
+	if err := r.Crash(leader); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.WaitForAgreement(20 * time.Second); !ok {
+		t.Fatal("no re-election under query load")
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestRTTimerFreeVariantLive(t *testing.T) {

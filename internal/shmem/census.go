@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Census records every shared-memory access of a run, attributed to the
@@ -19,20 +20,54 @@ import (
 //   - Lemmas 5 and 6: the leader writes forever, everyone else reads
 //     forever (ReadsSince).
 //
-// Census is safe for concurrent use; the simulation scheduler serializes
-// accesses anyway, while the live runtime pays the lock.
+// Census is safe for concurrent use and its hot paths are lock-free: each
+// register carries per-process cache-line-padded atomic counters, the
+// maximum value is raised by a CAS loop, and the write-event log is
+// sharded per process. Snapshot (and the cold registration/configuration
+// paths Track and LogWrites) are the only operations that take a lock;
+// SetClock is an atomic pointer swap, and NoteRead and NoteWrite never
+// block, so N instrumented processes scale instead of serializing on a
+// global mutex.
+//
+// Consistency model: counters are individually atomic but a Snapshot taken
+// while writers are running is not a single linearization point across
+// registers. The deterministic simulator serializes all accesses on one
+// goroutine, so its snapshots remain exact; live-runtime snapshots are
+// taken at quiescent or approximate instants, which is all the experiments
+// need. For multi-writer (nWnR) registers the DistinctValues counter is a
+// best-effort approximation under true concurrency; for the paper's 1WnR
+// registers (a single writing process) it is exact.
 type Census struct {
+	n int
+	// mu guards the registration map; it is taken by Track (allocation
+	// time), Snapshot (to walk the map), and the pre-run configuration
+	// calls. Never on an access path.
 	mu   sync.Mutex
-	n    int
 	regs map[string]*RegStats
 	// clock returns the current logical or real time used to timestamp
 	// accesses. The scheduler installs its virtual clock; the live runtime
-	// installs a monotonic nanosecond clock.
-	clock func() int64
+	// installs a monotonic nanosecond clock. Swapped atomically so
+	// NoteWrite can call it without locking.
+	clock atomic.Pointer[func() int64]
 	// logClasses enables per-write event logging for the named register
-	// classes (used by the Figure 3 write-gap experiment).
-	logClasses map[string]bool
-	writeLog   []WriteEvent
+	// classes (used by the Figure 3 write-gap experiment). Replaced
+	// copy-on-write by LogWrites.
+	logClasses atomic.Pointer[map[string]bool]
+	// seq is the global order of logged write events: each logged write
+	// draws a ticket, so the per-process shards can be merged back into
+	// the exact global sequence.
+	seq    atomic.Uint64
+	shards []logShard
+}
+
+// logShard is one process's slice of the write-event log. Appends by
+// different processes go to different shards, so the only lock contention
+// is between tasks of the same process (which the runtime already
+// serializes). Padded so adjacent shards do not share a cache line.
+type logShard struct {
+	mu     sync.Mutex
+	events []WriteEvent
+	_      [32]byte // mutex (8) + slice header (24) + 32 = one 64-byte line
 }
 
 // WriteEvent is one logged write, for classes enabled via LogWrites.
@@ -42,28 +77,42 @@ type WriteEvent struct {
 	Class string
 	Pid   int
 	Value uint64
+	// seq is the event's global-order ticket, used to merge the
+	// per-process shards back into one totally ordered log.
+	seq uint64
 }
 
-// RegStats is the per-register slice of the census.
+// counter is a cache-line-padded atomic counter: per-process counters for
+// the same register live in one slice, and without padding neighboring
+// processes' increments would false-share a line and serialize in the
+// cache-coherence protocol.
+type counter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// RegStats is the per-register slice of the census. All fields written on
+// the access path are atomic; the identity fields are immutable after
+// Track.
 type RegStats struct {
 	Class string
 	Name  string
 	Owner int
-	// ReadsBy[p] and WritesBy[p] count accesses by process p.
-	ReadsBy  []uint64
-	WritesBy []uint64
-	// MaxValue is the largest word ever stored (including the initial
-	// value if SeedValue was called).
-	MaxValue uint64
-	// LastWrite is the timestamp of the most recent write, in census
-	// clock units; -1 if never written.
-	LastWrite int64
-	// DistinctValues counts value changes observed at write time; a
-	// register whose writes never change the value still counts writes
-	// but not distinct values.
-	DistinctValues uint64
-	lastValue      uint64
-	everWritten    bool
+	// reads[p] and writes[p] count accesses by process p.
+	reads  []counter
+	writes []counter
+	// maxValue is the largest word ever stored (including the initial
+	// value if SeedValue was called); raised by CAS.
+	maxValue atomic.Uint64
+	// lastWrite is the timestamp of the most recent write, in census clock
+	// units; -1 if never written.
+	lastWrite atomic.Int64
+	// distinct counts value changes observed at write time; a register
+	// whose writes never change the value still counts writes but not
+	// distinct values.
+	distinct    atomic.Uint64
+	lastValue   atomic.Uint64
+	everWritten atomic.Bool
 }
 
 // NewCensus creates a census for n processes. clock may be nil, in which
@@ -72,20 +121,22 @@ func NewCensus(n int, clock func() int64) *Census {
 	if clock == nil {
 		clock = func() int64 { return 0 }
 	}
-	return &Census{
-		n:     n,
-		regs:  make(map[string]*RegStats),
-		clock: clock,
+	c := &Census{
+		n:    n,
+		regs: make(map[string]*RegStats),
+		// One shard per process plus one overflow shard for out-of-range
+		// pids (e.g. adversarial test writers).
+		shards: make([]logShard, n+1),
 	}
+	c.clock.Store(&clock)
+	return c
 }
 
 // SetClock replaces the census timestamp source. The scheduler calls this
 // once it owns the memory.
 func (c *Census) SetClock(clock func() int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if clock != nil {
-		c.clock = clock
+		c.clock.Store(&clock)
 	}
 }
 
@@ -97,19 +148,38 @@ func (c *Census) N() int { return c.n }
 func (c *Census) LogWrites(classes ...string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.logClasses == nil {
-		c.logClasses = make(map[string]bool)
+	m := make(map[string]bool)
+	if old := c.logClasses.Load(); old != nil {
+		for k, v := range *old {
+			m[k] = v
+		}
 	}
 	for _, cl := range classes {
-		c.logClasses[cl] = true
+		m[cl] = true
 	}
+	c.logClasses.Store(&m)
 }
 
-// WriteLog returns a copy of the logged write events, in order.
+// shard returns the write-log shard for pid.
+func (c *Census) shard(pid int) *logShard {
+	if pid >= 0 && pid < c.n {
+		return &c.shards[pid]
+	}
+	return &c.shards[c.n]
+}
+
+// WriteLog returns a copy of the logged write events, merged across the
+// per-process shards into global order.
 func (c *Census) WriteLog() []WriteEvent {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]WriteEvent(nil), c.writeLog...)
+	var all []WriteEvent
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.events...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	return all
 }
 
 // Track registers (or returns the existing) per-register stats slot for a
@@ -123,47 +193,61 @@ func (c *Census) Track(class, name string, owner int) *RegStats {
 		return st
 	}
 	st := &RegStats{
-		Class:     class,
-		Name:      name,
-		Owner:     owner,
-		ReadsBy:   make([]uint64, c.n),
-		WritesBy:  make([]uint64, c.n),
-		LastWrite: -1,
+		Class:  class,
+		Name:   name,
+		Owner:  owner,
+		reads:  make([]counter, c.n),
+		writes: make([]counter, c.n),
 	}
+	st.lastWrite.Store(-1)
 	c.regs[name] = st
 	return st
 }
 
 // NoteRead attributes one read of the tracked register to process pid.
+// Lock-free: a single padded atomic increment.
 func (c *Census) NoteRead(st *RegStats, pid int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if pid >= 0 && pid < len(st.ReadsBy) {
-		st.ReadsBy[pid]++
+	if pid >= 0 && pid < len(st.reads) {
+		st.reads[pid].v.Add(1)
 	}
 }
 
 // NoteWrite attributes one write of value v to process pid and updates
-// the register's domain statistics.
+// the register's domain statistics. Lock-free unless the register's class
+// is being event-logged (then only the writer's own shard lock is taken).
 func (c *Census) NoteWrite(st *RegStats, pid int, v uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if pid >= 0 && pid < len(st.WritesBy) {
-		st.WritesBy[pid]++
+	if pid >= 0 && pid < len(st.writes) {
+		st.writes[pid].v.Add(1)
 	}
-	if v > st.MaxValue {
-		st.MaxValue = v
+	raiseMax(&st.maxValue, v)
+	if !st.everWritten.Load() || st.lastValue.Load() != v {
+		st.distinct.Add(1)
 	}
-	if !st.everWritten || v != st.lastValue {
-		st.DistinctValues++
+	st.lastValue.Store(v)
+	if !st.everWritten.Load() {
+		st.everWritten.Store(true)
 	}
-	st.everWritten = true
-	st.lastValue = v
-	st.LastWrite = c.clock()
-	if c.logClasses[st.Class] {
-		c.writeLog = append(c.writeLog, WriteEvent{
-			T: st.LastWrite, Name: st.Name, Class: st.Class, Pid: pid, Value: v,
-		})
+	t := (*c.clock.Load())()
+	st.lastWrite.Store(t)
+	if lc := c.logClasses.Load(); lc != nil && (*lc)[st.Class] {
+		ev := WriteEvent{
+			T: t, Name: st.Name, Class: st.Class, Pid: pid, Value: v,
+			seq: c.seq.Add(1),
+		}
+		sh := c.shard(pid)
+		sh.mu.Lock()
+		sh.events = append(sh.events, ev)
+		sh.mu.Unlock()
+	}
+}
+
+// raiseMax lifts m to at least v with a CAS loop.
+func raiseMax(m *atomic.Uint64, v uint64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -171,35 +255,47 @@ func (c *Census) NoteWrite(st *RegStats, pid int, v uint64) {
 // account for arbitrary initial values (the paper's self-stabilization
 // footnote 7). It does not count as a write.
 func (c *Census) SeedValue(st *RegStats, v uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if v > st.MaxValue {
-		st.MaxValue = v
+	raiseMax(&st.maxValue, v)
+	st.lastValue.Store(v)
+}
+
+// snapshotReg atomically loads one register's counters into an immutable
+// copy.
+func snapshotReg(st *RegStats) RegSnapshot {
+	rs := RegSnapshot{
+		Class:          st.Class,
+		Name:           st.Name,
+		Owner:          st.Owner,
+		ReadsBy:        make([]uint64, len(st.reads)),
+		WritesBy:       make([]uint64, len(st.writes)),
+		MaxValue:       st.maxValue.Load(),
+		LastWrite:      st.lastWrite.Load(),
+		DistinctValues: st.distinct.Load(),
 	}
-	st.lastValue = v
+	for p := range st.reads {
+		rs.ReadsBy[p] = st.reads[p].v.Load()
+		rs.WritesBy[p] = st.writes[p].v.Load()
+	}
+	return rs
 }
 
 // Snapshot returns a deep copy of the census at this instant. Experiments
 // snapshot at the stabilization time and diff against the final state.
+// This is the census's one synchronizing operation: it briefly locks the
+// registration map to walk it, then atomically loads every counter.
 func (c *Census) Snapshot() *CensusSnapshot {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	regs := make([]*RegStats, 0, len(c.regs))
+	for _, st := range c.regs {
+		regs = append(regs, st)
+	}
+	c.mu.Unlock()
 	snap := &CensusSnapshot{
 		N:    c.n,
-		Regs: make(map[string]RegSnapshot, len(c.regs)),
+		Regs: make(map[string]RegSnapshot, len(regs)),
 	}
-	for name, st := range c.regs {
-		rs := RegSnapshot{
-			Class:          st.Class,
-			Name:           name,
-			Owner:          st.Owner,
-			ReadsBy:        append([]uint64(nil), st.ReadsBy...),
-			WritesBy:       append([]uint64(nil), st.WritesBy...),
-			MaxValue:       st.MaxValue,
-			LastWrite:      st.LastWrite,
-			DistinctValues: st.DistinctValues,
-		}
-		snap.Regs[name] = rs
+	for _, st := range regs {
+		snap.Regs[st.Name] = snapshotReg(st)
 	}
 	return snap
 }

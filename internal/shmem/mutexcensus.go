@@ -1,0 +1,106 @@
+package shmem
+
+import "sync"
+
+// MutexCensus is the retired global-mutex census implementation, preserved
+// verbatim (hot path only) as the baseline for the contention benchmarks:
+// BenchmarkCensusContention and `omegabench -bench` quantify how much the
+// lock-free Census gains over this design at high process counts. Every
+// access takes one global lock, so N instrumented processes serialize.
+//
+// It is not wired into any Mem implementation; only benchmarks construct
+// it.
+type MutexCensus struct {
+	mu    sync.Mutex
+	n     int
+	regs  map[string]*MutexRegStats
+	clock func() int64
+}
+
+// MutexRegStats is the per-register slice of a MutexCensus, mirroring the
+// original locked RegStats layout.
+type MutexRegStats struct {
+	Class          string
+	Name           string
+	Owner          int
+	ReadsBy        []uint64
+	WritesBy       []uint64
+	MaxValue       uint64
+	LastWrite      int64
+	DistinctValues uint64
+	lastValue      uint64
+	everWritten    bool
+}
+
+// NewMutexCensus creates a global-mutex census for n processes. clock may
+// be nil, in which case all timestamps are 0.
+func NewMutexCensus(n int, clock func() int64) *MutexCensus {
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	return &MutexCensus{
+		n:     n,
+		regs:  make(map[string]*MutexRegStats),
+		clock: clock,
+	}
+}
+
+// Track registers (or returns the existing) stats slot for a register.
+func (c *MutexCensus) Track(class, name string, owner int) *MutexRegStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.regs[name]; ok {
+		return st
+	}
+	st := &MutexRegStats{
+		Class:     class,
+		Name:      name,
+		Owner:     owner,
+		ReadsBy:   make([]uint64, c.n),
+		WritesBy:  make([]uint64, c.n),
+		LastWrite: -1,
+	}
+	c.regs[name] = st
+	return st
+}
+
+// NoteRead attributes one read to process pid, under the global lock.
+func (c *MutexCensus) NoteRead(st *MutexRegStats, pid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pid >= 0 && pid < len(st.ReadsBy) {
+		st.ReadsBy[pid]++
+	}
+}
+
+// NoteWrite attributes one write of value v to process pid, under the
+// global lock.
+func (c *MutexCensus) NoteWrite(st *MutexRegStats, pid int, v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pid >= 0 && pid < len(st.WritesBy) {
+		st.WritesBy[pid]++
+	}
+	if v > st.MaxValue {
+		st.MaxValue = v
+	}
+	if !st.everWritten || v != st.lastValue {
+		st.DistinctValues++
+	}
+	st.everWritten = true
+	st.lastValue = v
+	st.LastWrite = c.clock()
+}
+
+// SnapshotAll copies every register's counters under the global lock,
+// exactly as the retired Snapshot did: monitoring stalls all accessors.
+func (c *MutexCensus) SnapshotAll(regs []*MutexRegStats) [][]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]uint64, 0, 2*len(regs))
+	for _, st := range regs {
+		out = append(out, append([]uint64(nil), st.ReadsBy...))
+		out = append(out, append([]uint64(nil), st.WritesBy...))
+	}
+	return out
+}

@@ -11,8 +11,18 @@ func TestNewValidation(t *testing.T) {
 	if _, err := omegasm.New(omegasm.Config{N: 1}); err == nil {
 		t.Error("N=1 accepted")
 	}
+	if _, err := omegasm.New(omegasm.Config{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := omegasm.New(omegasm.Config{N: -3}); err == nil {
+		t.Error("negative N accepted")
+	}
 	if _, err := omegasm.New(omegasm.Config{N: 3, Algorithm: omegasm.Algorithm(99)}); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+	// The zero Algorithm means the default (WriteEfficient), not an error.
+	if _, err := omegasm.New(omegasm.Config{N: 2}); err != nil {
+		t.Errorf("default config rejected: %v", err)
 	}
 }
 
@@ -95,6 +105,11 @@ func TestStatsRequiresInstrumentation(t *testing.T) {
 	if c.Stats() != nil {
 		t.Error("Stats() non-nil without Instrument")
 	}
+	// Still nil after the cluster has done real work.
+	c.WaitForAgreement(5 * time.Second)
+	if c.Stats() != nil {
+		t.Error("Stats() non-nil after running without Instrument")
+	}
 }
 
 func TestStatsShape(t *testing.T) {
@@ -171,6 +186,68 @@ func TestWatchObservesFailover(t *testing.T) {
 	}
 	if next.Leader == first.Leader {
 		t.Fatalf("failover to the crashed leader %d", next.Leader)
+	}
+}
+
+// TestWatchCoalescesForSlowReceiver is the regression test for the
+// latest-wins delivery path: a receiver that never drains the channel must
+// not block the watcher, the buffer must never hold more than the single
+// most recent change, and the first receive after a burst of leadership
+// changes must observe the newest state, not the oldest.
+func TestWatchCoalescesForSlowReceiver(t *testing.T) {
+	c := startCluster(t, omegasm.Config{
+		N:            4,
+		StepInterval: 100 * time.Microsecond,
+		TimerUnit:    time.Millisecond,
+	})
+	first, ok := c.WaitForAgreement(10 * time.Second)
+	if !ok {
+		t.Fatal("no initial agreement")
+	}
+
+	// Subscribe but do not receive while the leadership churns: the crash
+	// forces at least two further changes (agreement lost, new leader).
+	events, cancel := c.Watch(100 * time.Microsecond)
+	defer cancel()
+	time.Sleep(5 * time.Millisecond) // watcher delivers the initial state
+	if err := c.Crash(first); err != nil {
+		t.Fatal(err)
+	}
+	next, ok := c.WaitForAgreement(20 * time.Second)
+	if !ok {
+		t.Fatal("no re-election")
+	}
+	time.Sleep(20 * time.Millisecond) // let the watcher observe the new state
+
+	// The watcher must have kept running (not blocked on the full buffer)
+	// and left exactly the most recent change buffered: receiving once,
+	// without waiting, must yield the newest state, not the stale initial
+	// agreement.
+	select {
+	case ev := <-events:
+		if !ev.Agreed || ev.Leader == first {
+			t.Fatalf("first receive after churn = %+v; want the coalesced newest state (leader %d)", ev, next)
+		}
+	default:
+		t.Fatal("no event buffered after leadership changes (watcher stalled or dropped the newest event)")
+	}
+}
+
+func TestWatchCancelAfterStop(t *testing.T) {
+	c, err := omegasm.New(omegasm.Config{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	events, cancel := c.Watch(time.Millisecond)
+	c.Stop()
+	cancel() // watcher outlives Stop by contract; cancel must still end it
+	if _, ok := <-events; ok {
+		// Drain until close; the channel must close after cancel.
+		for range events {
+		}
 	}
 }
 
