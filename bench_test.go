@@ -8,6 +8,7 @@
 package omegasm_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -272,14 +273,12 @@ func benchContended(b *testing.B, w harness.CensusWorkload) {
 // goroutines. The answer is one atomic load, so ns/op should stay flat no
 // matter how many queriers pile on.
 func BenchmarkFleetLeaderQueries(b *testing.B) {
-	f, err := omegasm.NewFleet(omegasm.FleetConfig{
-		Clusters: 4,
-		Cluster: omegasm.Config{
-			N:            3,
-			StepInterval: 100 * time.Microsecond,
-			TimerUnit:    time.Millisecond,
-		},
-	})
+	f, err := omegasm.NewFleet(
+		omegasm.WithClusters(4),
+		omegasm.WithN(3),
+		omegasm.WithStepInterval(100*time.Microsecond),
+		omegasm.WithTimerUnit(time.Millisecond),
+	)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -304,6 +303,45 @@ func BenchmarkFleetLeaderQueries(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkKVThroughput measures the public replicated key-value store:
+// each iteration is one synchronous Put — submitted to the Omega-elected
+// leader, committed through the Disk-Paxos log, applied at the reading
+// replica. `omegabench -bench` runs the wall-clock variant of this and
+// records it in BENCH_kv_throughput.json.
+func BenchmarkKVThroughput(b *testing.B) {
+	c, err := omegasm.New(
+		omegasm.WithN(3),
+		omegasm.WithStepInterval(100*time.Microsecond),
+		omegasm.WithTimerUnit(time.Millisecond),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	if _, ok := c.WaitForAgreement(20 * time.Second); !ok {
+		b.Fatal("no agreement")
+	}
+	kv, err := omegasm.NewKV(c,
+		omegasm.KVSlots(2*b.N+64), // commits may duplicate across failovers
+		omegasm.KVStepInterval(50*time.Microsecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kv.Put(ctx, uint16(i%1024), uint16(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkConsensusDecide measures a full single-proposer consensus

@@ -8,10 +8,12 @@
 //	omegabench -bench [-benchdir DIR] [-benchdur D]
 //
 // With -bench it instead runs the performance benchmarks of the
-// instrumentation and query layers and writes machine-readable
-// BENCH_<name>.json files (census contention: lock-free vs global-mutex
-// census; fleet leader queries: the cached multi-cluster fast path), so
-// the perf trajectory is recorded run over run.
+// instrumentation, query and replication layers and writes
+// machine-readable BENCH_<name>.json files (census contention: lock-free
+// vs global-mutex census; fleet leader queries: the cached multi-cluster
+// fast path; kv throughput: the Omega-driven replicated store on the
+// atomic and SAN substrates), so the perf trajectory is recorded run over
+// run.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -133,21 +136,140 @@ func runBench(dir string, dur time.Duration) int {
 		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
 		return 1
 	}
+	fmt.Printf("wrote %s\n\n", path)
+
+	fmt.Printf("replicated KV throughput (%v per point):\n", dur)
+	var kvPoints []harness.KVThroughputPoint
+	for _, p := range []struct {
+		n   int
+		sub string
+	}{{3, "atomic"}, {5, "atomic"}, {3, "san"}} {
+		pt, err := benchKVThroughput(p.n, p.sub, dur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omegabench: kv bench: %v\n", err)
+			return 1
+		}
+		kvPoints = append(kvPoints, pt)
+		fmt.Printf("  n=%d %-6s  %8.0f commits/s  %10.0f reads/s\n",
+			pt.Procs, pt.Substrate, pt.CommitsPerSec, pt.ReadsPerSec)
+	}
+	path, err = harness.WriteBenchJSON(dir, harness.BenchReport{
+		Name:   "kv_throughput",
+		Unit:   "committed log entries/sec and local reads/sec",
+		Points: kvPoints,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+		return 1
+	}
 	fmt.Printf("wrote %s\n", path)
 	return 0
+}
+
+// benchKVThroughput elects a leader, serves the replicated KV store and
+// measures commit and local-read throughput over dur. The writer keeps a
+// bounded queue of async Sets ahead of the applied index so the log is
+// never starved and never floods.
+func benchKVThroughput(n int, substrate string, dur time.Duration) (harness.KVThroughputPoint, error) {
+	opts := []omegasm.Option{
+		omegasm.WithN(n),
+		omegasm.WithStepInterval(100 * time.Microsecond),
+		omegasm.WithTimerUnit(time.Millisecond),
+	}
+	if substrate == "san" {
+		// An ideal (zero-latency) SAN isolates the quorum-protocol cost;
+		// pace a little slower than atomic memory to keep elections calm.
+		opts = append(opts,
+			omegasm.WithSAN(omegasm.SANConfig{Disks: 3}),
+			omegasm.WithStepInterval(500*time.Microsecond),
+			omegasm.WithTimerUnit(10*time.Millisecond),
+		)
+	}
+	c, err := omegasm.New(opts...)
+	if err != nil {
+		return harness.KVThroughputPoint{}, err
+	}
+	if err := c.Start(); err != nil {
+		return harness.KVThroughputPoint{}, err
+	}
+	defer c.Stop()
+	if _, ok := c.WaitForAgreement(20 * time.Second); !ok {
+		return harness.KVThroughputPoint{}, fmt.Errorf("no agreement on %s substrate", substrate)
+	}
+	kv, err := omegasm.NewKV(c, omegasm.KVSlots(1<<15), omegasm.KVStepInterval(50*time.Microsecond))
+	if err != nil {
+		return harness.KVThroughputPoint{}, err
+	}
+	defer kv.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // writer: stay at most 256 commands ahead of the applied index
+		defer wg.Done()
+		for k := 0; !stop.Load(); {
+			if k < kv.Applied()+256 {
+				switch err := kv.Set(uint16(k%1024), uint16(k)); err {
+				case nil:
+					k++
+					continue
+				case omegasm.ErrLogFull:
+					return // capacity exhausted; the sampler ends the window
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	var reads atomic.Int64
+	go func() { // reader: hammer local Gets, yielding so the replication
+		// driver is never starved of CPU or the store lock
+		defer wg.Done()
+		var count int64
+		for k := 0; !stop.Load(); k++ {
+			kv.Get(uint16(k % 1024))
+			count++
+			if count%256 == 0 {
+				runtime.Gosched()
+			}
+		}
+		reads.Store(count)
+	}()
+
+	// Sample until dur elapses, ending the window early if the log nears
+	// capacity: measuring an exhausted log would flatline the recorded
+	// rate as benchdur grows.
+	applied0 := kv.Applied()
+	start := time.Now()
+	deadline := start.Add(dur)
+	highWater := kv.Capacity() - 512
+	for time.Now().Before(deadline) && kv.Applied() < highWater {
+		time.Sleep(5 * time.Millisecond)
+	}
+	commits := kv.Applied() - applied0
+	elapsed := time.Since(start).Seconds()
+	if kv.Applied() >= highWater {
+		fmt.Printf("  (n=%d %s: log filled after %.0fms; rate uses the shortened window)\n",
+			n, substrate, elapsed*1000)
+	}
+	stop.Store(true)
+	wg.Wait()
+	return harness.KVThroughputPoint{
+		Procs:         n,
+		Substrate:     substrate,
+		CommitsPerSec: float64(commits) / elapsed,
+		ReadsPerSec:   float64(reads.Load()) / elapsed,
+	}, nil
 }
 
 // benchFleetQueries starts a fleet and hammers the cached Leader fast path
 // from queriers goroutines for dur.
 func benchFleetQueries(clusters, n, queriers int, dur time.Duration) (harness.FleetQueryPoint, error) {
-	f, err := omegasm.NewFleet(omegasm.FleetConfig{
-		Clusters: clusters,
-		Cluster: omegasm.Config{
-			N:            n,
-			StepInterval: 100 * time.Microsecond,
-			TimerUnit:    time.Millisecond,
-		},
-	})
+	f, err := omegasm.NewFleet(
+		omegasm.WithClusters(clusters),
+		omegasm.WithN(n),
+		omegasm.WithStepInterval(100*time.Microsecond),
+		omegasm.WithTimerUnit(time.Millisecond),
+	)
 	if err != nil {
 		return harness.FleetQueryPoint{}, err
 	}

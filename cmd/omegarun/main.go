@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"omegasm/internal/harness"
 	"omegasm/internal/trace"
@@ -22,7 +23,10 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "", "experiment id (F1..F5, T1..T6); empty for an ad-hoc run")
+	// The id list is derived from the harness index so it cannot drift as
+	// experiments are added.
+	exp := flag.String("exp", "", fmt.Sprintf("experiment id (%s); empty for an ad-hoc run",
+		strings.Join(harness.IDs(), ", ")))
 	quick := flag.Bool("quick", false, "smaller horizons and seed counts")
 	algo := flag.String("algo", "algo1", "algorithm: algo1|algo2|nwnr|timerfree|baseline|strawman")
 	n := flag.Int("n", 5, "number of processes")

@@ -1,23 +1,22 @@
-// Command omegasan runs the paper's motivating deployment live: Omega
-// (Algorithm 1) over a simulated storage-area network of crash-prone
-// disks, optionally with an Omega-driven replicated log on top.
+// Command omegasan runs the paper's motivating deployment live through
+// the public API: Omega over a simulated storage-area network of
+// crash-prone disks (the SAN substrate), optionally with the Omega-driven
+// replicated key-value store on top.
 //
 // Usage:
 //
-//	omegasan [-n 3] [-disks 5] [-crash-disk 1] [-crash-proc 1] [-log]
+//	omegasan [-n 3] [-disks 5] [-crash-disk 1] [-crash-proc 1] [-kv]
 //	         [-base 200us] [-jitter 300us] [-duration 3s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"omegasm/internal/consensus"
-	"omegasm/internal/core"
-	"omegasm/internal/rt"
-	"omegasm/internal/san"
+	"omegasm"
 )
 
 func main() {
@@ -29,7 +28,7 @@ func run() int {
 	nDisks := flag.Int("disks", 5, "number of disks (majority must survive)")
 	crashDisks := flag.Int("crash-disk", 1, "disks to crash mid-run")
 	crashProc := flag.Bool("crash-proc", true, "crash the elected leader mid-run")
-	withLog := flag.Bool("log", true, "run a replicated log over the oracle")
+	withKV := flag.Bool("kv", true, "serve the replicated KV store over the oracle")
 	base := flag.Duration("base", 200*time.Microsecond, "disk base latency")
 	jitter := flag.Duration("jitter", 300*time.Microsecond, "disk latency jitter")
 	duration := flag.Duration("duration", 3*time.Second, "how long to run after election")
@@ -41,28 +40,16 @@ func run() int {
 		return 1
 	}
 
-	disks := make([]*san.Disk, *nDisks)
-	for d := range disks {
-		disks[d] = san.NewDisk(san.Latency{
-			Base:   *base,
-			Jitter: *jitter,
-			SpikeP: 0.01,
-			Spike:  10 * *base,
-		}, int64(d+1))
-	}
-	mem, err := san.NewDiskMem(*n, disks)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "omegasan: %v\n", err)
-		return 1
-	}
-	procs := make([]rt.Proc, *n)
-	for i, p := range core.BuildAlgo1(mem, *n) {
-		procs[i] = p
-	}
-	cluster, err := rt.New(rt.Config{
-		StepInterval: 2 * time.Millisecond,
-		TimerUnit:    25 * time.Millisecond,
-	}, procs)
+	cluster, err := omegasm.New(
+		omegasm.WithN(*n),
+		omegasm.WithSAN(omegasm.SANConfig{
+			Disks:       *nDisks,
+			BaseLatency: *base,
+			Jitter:      *jitter,
+			SpikeP:      0.01,
+			Spike:       10 * *base,
+		}),
+	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "omegasan: %v\n", err)
 		return 1
@@ -78,54 +65,34 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "omegasan: no election within a minute")
 		return 1
 	}
-	fmt.Printf("elected leader %d over %d disks (quorum %d)\n", leader, *nDisks, mem.Quorum())
+	fmt.Printf("elected leader %d over %d disks\n", leader, cluster.DiskCount())
 
-	var replicas []*consensus.Replica
-	stopLog := make(chan struct{})
-	logDone := make(chan struct{})
-	if *withLog {
-		dlog := consensus.NewLog(mem, *n, 64)
-		for i := 0; i < *n; i++ {
-			i := i
-			r, err := consensus.NewReplica(dlog, i, func() int {
-				l, err := cluster.Leader(i)
-				if err != nil {
-					return -1
-				}
-				return l
-			})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "omegasan: %v\n", err)
+	var kv *omegasm.KV
+	if *withKV {
+		kv, err = omegasm.NewKV(cluster, omegasm.KVSlots(256))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omegasan: %v\n", err)
+			return 1
+		}
+		defer kv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		for k := uint16(0); k < 8; k++ {
+			if err := kv.Put(ctx, k, 100+k); err != nil {
+				fmt.Fprintf(os.Stderr, "omegasan: put: %v\n", err)
 				return 1
 			}
-			for k := 0; k < 8; k++ {
-				r.Submit(uint32(i*100 + k + 1))
-			}
-			replicas = append(replicas, r)
 		}
-		go func() {
-			defer close(logDone)
-			ticker := time.NewTicker(time.Millisecond)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-stopLog:
-					return
-				case <-ticker.C:
-					for i, r := range replicas {
-						if !cluster.Crashed(i) {
-							r.Step(0)
-						}
-					}
-				}
-			}
-		}()
+		fmt.Printf("replicated %d writes through the disk-paxos log\n", kv.Applied())
 	}
 
 	time.Sleep(*duration / 3)
 	for d := 0; d < *crashDisks; d++ {
 		fmt.Printf("crashing disk %d...\n", d)
-		disks[d].Crash()
+		if err := cluster.CrashDisk(d); err != nil {
+			fmt.Fprintf(os.Stderr, "omegasan: %v\n", err)
+			return 1
+		}
 	}
 	if *crashProc {
 		fmt.Printf("crashing leader process %d...\n", leader)
@@ -142,17 +109,19 @@ func run() int {
 	}
 	time.Sleep(*duration * 2 / 3)
 
-	if *withLog {
-		close(stopLog)
-		<-logDone
-		fmt.Println("committed prefixes:")
-		for i, r := range replicas {
-			note := ""
-			if cluster.Crashed(i) {
-				note = " (crashed)"
+	if *withKV {
+		// Writes keep committing under the new leader, over the surviving
+		// disk majority.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		for k := uint16(8); k < 16; k++ {
+			if err := kv.Put(ctx, k, 100+k); err != nil {
+				fmt.Fprintf(os.Stderr, "omegasan: put after failover: %v\n", err)
+				return 1
 			}
-			fmt.Printf("  replica %d%s: %v\n", i, note, r.Committed())
 		}
+		fmt.Printf("store after failover: %d keys, %d log entries applied\n",
+			kv.Len(), kv.Applied())
 	}
 	fmt.Println("done")
 	return 0

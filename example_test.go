@@ -10,7 +10,7 @@ import (
 // ExampleCluster shows the basic lifecycle: start a cluster, wait for the
 // oracle outputs to converge, and shut down.
 func ExampleCluster() {
-	c, err := omegasm.New(omegasm.Config{N: 3})
+	c, err := omegasm.New(omegasm.WithN(3))
 	if err != nil {
 		fmt.Println("config error:", err)
 		return
@@ -31,7 +31,7 @@ func ExampleCluster() {
 // ExampleCluster_crash demonstrates crash-stop failover: the survivors'
 // oracle converges on a new correct leader.
 func ExampleCluster_crash() {
-	c, err := omegasm.New(omegasm.Config{N: 4, Algorithm: omegasm.Bounded})
+	c, err := omegasm.New(omegasm.WithN(4), omegasm.WithAlgorithm(omegasm.Bounded))
 	if err != nil {
 		fmt.Println("config error:", err)
 		return

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	const n = 4
-	c, err := omegasm.New(omegasm.Config{N: n, Algorithm: omegasm.Bounded})
+	c, err := omegasm.New(omegasm.WithN(n), omegasm.WithAlgorithm(omegasm.Bounded))
 	if err != nil {
 		log.Fatal(err)
 	}

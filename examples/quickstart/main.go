@@ -13,11 +13,11 @@ import (
 )
 
 func main() {
-	c, err := omegasm.New(omegasm.Config{
-		N:          5,
-		Algorithm:  omegasm.WriteEfficient, // the paper's Figure 2
-		Instrument: true,
-	})
+	c, err := omegasm.New(
+		omegasm.WithN(5),
+		omegasm.WithAlgorithm(omegasm.WriteEfficient), // the paper's Figure 2
+		omegasm.WithInstrumentation(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

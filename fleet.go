@@ -7,7 +7,14 @@ import (
 	"time"
 )
 
-// FleetConfig parameterizes a Fleet.
+// FleetConfig is the closed configuration struct of the pre-options
+// fleet API.
+//
+// Deprecated: build fleets with NewFleet and functional options instead.
+// The field mapping is WithClusters(cfg.Clusters),
+// WithRefreshInterval(cfg.RefreshInterval) and the Cluster field's
+// options (see Config) applied fleet-wide; FleetConfig cannot express
+// per-cluster overrides or substrates.
 type FleetConfig struct {
 	// Clusters is the number of independent Omega clusters (>= 1).
 	Clusters int
@@ -20,6 +27,20 @@ type FleetConfig struct {
 	RefreshInterval time.Duration
 }
 
+// NewFleetFromConfig builds a Fleet from the legacy FleetConfig struct.
+//
+// Deprecated: use NewFleet with functional options.
+func NewFleetFromConfig(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Clusters < 1 {
+		return nil, fmt.Errorf("omegasm: need at least 1 cluster, got %d", cfg.Clusters)
+	}
+	opts := append(cfg.Cluster.options(), WithClusters(cfg.Clusters))
+	if cfg.RefreshInterval > 0 {
+		opts = append(opts, WithRefreshInterval(cfg.RefreshInterval))
+	}
+	return NewFleet(opts...)
+}
+
 // Fleet runs many independent Omega clusters concurrently — the
 // multi-tenant deployment shape, where each cluster elects a leader for
 // one replicated object — and answers Leader queries from a read-mostly
@@ -27,8 +48,8 @@ type FleetConfig struct {
 // into one packed atomic word, so a query is a single atomic load
 // regardless of cluster size or query rate.
 type Fleet struct {
-	cfg      FleetConfig
-	clusters []*Cluster
+	refreshInterval time.Duration
+	clusters        []*Cluster
 	// view[i] is cluster i's packed agreement word, see packView.
 	view []atomic.Uint64
 
@@ -55,21 +76,57 @@ func unpackView(w uint64) (leader int, agreed bool) {
 	return int(w &^ (1 << 63)), true
 }
 
-// NewFleet validates cfg and builds a stopped Fleet; call Start to run it.
-func NewFleet(cfg FleetConfig) (*Fleet, error) {
-	if cfg.Clusters < 1 {
-		return nil, fmt.Errorf("omegasm: need at least 1 cluster, got %d", cfg.Clusters)
+// NewFleet validates the options and builds a stopped Fleet; call Start
+// to run it. Cluster options (WithN, WithAlgorithm, WithSAN, ...) apply
+// to every member; the fleet-only options WithClusters,
+// WithRefreshInterval and WithClusterOptions shape the fleet itself.
+// Per-cluster overrides compose after the fleet-wide options, so a
+// heterogeneous fleet is:
+//
+//	f, err := omegasm.NewFleet(
+//		omegasm.WithClusters(8),
+//		omegasm.WithN(3),
+//		omegasm.WithClusterOptions(0, omegasm.WithN(5), omegasm.WithSAN(omegasm.SANConfig{})),
+//	)
+//
+// Substrate-backed members get their own substrate instance each (a SAN
+// cluster's disk farm is not shared with its neighbors).
+func NewFleet(opts ...Option) (*Fleet, error) {
+	fs := newSettings()
+	if err := fs.apply(opts); err != nil {
+		return nil, err
 	}
-	if cfg.RefreshInterval <= 0 {
-		cfg.RefreshInterval = 200 * time.Microsecond
+	if fs.refreshInterval <= 0 {
+		fs.refreshInterval = 200 * time.Microsecond
+	}
+	for _, ov := range fs.overrides {
+		if ov.index >= fs.clusters {
+			return nil, fmt.Errorf("omegasm: cluster override index %d out of range (fleet of %d)", ov.index, fs.clusters)
+		}
 	}
 	f := &Fleet{
-		cfg:  cfg,
-		view: make([]atomic.Uint64, cfg.Clusters),
-		stop: make(chan struct{}),
+		refreshInterval: fs.refreshInterval,
+		view:            make([]atomic.Uint64, fs.clusters),
+		stop:            make(chan struct{}),
 	}
-	for i := 0; i < cfg.Clusters; i++ {
-		c, err := New(cfg.Cluster)
+	for i := 0; i < fs.clusters; i++ {
+		// Re-resolve the full option list per member so each cluster gets
+		// fresh state (its own substrate instance), then layer this
+		// member's overrides on top.
+		cs := newSettings()
+		if err := cs.apply(opts); err != nil {
+			return nil, err
+		}
+		cs.inOverride = true
+		for _, ov := range fs.overrides {
+			if ov.index != i {
+				continue
+			}
+			if err := cs.apply(ov.opts); err != nil {
+				return nil, fmt.Errorf("omegasm: fleet cluster %d: %w", i, err)
+			}
+		}
+		c, err := newCluster(cs)
 		if err != nil {
 			return nil, fmt.Errorf("omegasm: fleet cluster %d: %w", i, err)
 		}
@@ -79,10 +136,13 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 }
 
 // Start launches every cluster and the view refresher. It may be called
-// once.
+// once; a stopped fleet cannot be restarted.
 func (f *Fleet) Start() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.stopped {
+		return fmt.Errorf("omegasm: fleet already stopped")
+	}
 	if f.started {
 		return fmt.Errorf("omegasm: fleet already started")
 	}
@@ -98,7 +158,7 @@ func (f *Fleet) Start() error {
 	f.wg.Add(1)
 	go func() {
 		defer f.wg.Done()
-		ticker := time.NewTicker(f.cfg.RefreshInterval)
+		ticker := time.NewTicker(f.refreshInterval)
 		defer ticker.Stop()
 		for {
 			select {
@@ -120,7 +180,8 @@ func (f *Fleet) refresh(i int) {
 	f.view[i].Store(packView(leader, agreed))
 }
 
-// Stop halts the refresher and every cluster. Idempotent.
+// Stop halts the refresher and every cluster. Idempotent, and safe to
+// call on a fleet that was never started.
 func (f *Fleet) Stop() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -173,23 +234,32 @@ func (f *Fleet) Crash(i, p int) error {
 }
 
 // WaitForAgreement blocks until every cluster's live processes agree on a
-// live leader (refreshing the cached view as each cluster settles), or the
-// timeout elapses. It returns the per-cluster leaders and whether all
-// clusters agreed in time.
+// live leader (refreshing the cached view as each cluster settles), or
+// the timeout elapses. All clusters are waited on in parallel, so the
+// timeout bounds total wall time: the slowest cluster never eats into the
+// others' budget, and a late cluster is detected within one timeout no
+// matter how many siblings settle first. It returns the per-cluster
+// leaders and whether all clusters agreed in time.
 func (f *Fleet) WaitForAgreement(timeout time.Duration) ([]int, bool) {
 	leaders := make([]int, len(f.clusters))
-	deadline := time.Now().Add(timeout)
+	agreed := make([]bool, len(f.clusters))
+	var wg sync.WaitGroup
 	for i, c := range f.clusters {
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return leaders, false
-		}
-		l, ok := c.WaitForAgreement(remain)
+		wg.Add(1)
+		go func(i int, c *Cluster) {
+			defer wg.Done()
+			l, ok := c.WaitForAgreement(timeout)
+			if ok {
+				leaders[i], agreed[i] = l, true
+				f.refresh(i)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, ok := range agreed {
 		if !ok {
 			return leaders, false
 		}
-		leaders[i] = l
-		f.refresh(i)
 	}
 	return leaders, true
 }

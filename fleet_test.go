@@ -8,9 +8,9 @@ import (
 	"omegasm"
 )
 
-func startFleet(t *testing.T, cfg omegasm.FleetConfig) *omegasm.Fleet {
+func startFleet(t *testing.T, opts ...omegasm.Option) *omegasm.Fleet {
 	t.Helper()
-	f, err := omegasm.NewFleet(cfg)
+	f, err := omegasm.NewFleet(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,26 +21,94 @@ func startFleet(t *testing.T, cfg omegasm.FleetConfig) *omegasm.Fleet {
 	return f
 }
 
-func fastClusterConfig(n int) omegasm.Config {
-	return omegasm.Config{
-		N:            n,
-		StepInterval: 100 * time.Microsecond,
-		TimerUnit:    time.Millisecond,
-	}
+// fleetOpts is clusters-many fast-paced members of n processes each.
+func fleetOpts(clusters, n int) []omegasm.Option {
+	return append(fastOpts(n), omegasm.WithClusters(clusters))
 }
 
 func TestFleetValidation(t *testing.T) {
-	if _, err := omegasm.NewFleet(omegasm.FleetConfig{Clusters: 0, Cluster: fastClusterConfig(3)}); err == nil {
+	if _, err := omegasm.NewFleet(omegasm.WithClusters(0), omegasm.WithN(3)); err == nil {
 		t.Error("0 clusters accepted")
 	}
-	if _, err := omegasm.NewFleet(omegasm.FleetConfig{Clusters: 2, Cluster: omegasm.Config{N: 1}}); err == nil {
-		t.Error("invalid per-cluster config accepted")
+	if _, err := omegasm.NewFleet(omegasm.WithClusters(2)); err == nil {
+		t.Error("fleet without WithN accepted")
+	}
+	// Per-cluster overrides must target an existing member and cannot
+	// carry fleet-only options.
+	if _, err := omegasm.NewFleet(omegasm.WithClusters(2), omegasm.WithN(3),
+		omegasm.WithClusterOptions(2, omegasm.WithN(5))); err == nil {
+		t.Error("override index out of range accepted")
+	}
+	if _, err := omegasm.NewFleet(omegasm.WithClusters(2), omegasm.WithN(3),
+		omegasm.WithClusterOptions(0, omegasm.WithClusters(3))); err == nil {
+		t.Error("nested fleet-only option accepted")
+	}
+	if _, err := omegasm.NewFleet(omegasm.WithClusters(2), omegasm.WithN(3),
+		omegasm.WithClusterOptions(1, omegasm.WithAlgorithm(omegasm.Algorithm(99)))); err == nil {
+		t.Error("invalid override option accepted")
+	}
+}
+
+// TestFleetClusterOverrides builds a heterogeneous fleet: the base options
+// configure 3-process WriteEfficient members and one override swaps a
+// member to 5 processes running Bounded.
+func TestFleetClusterOverrides(t *testing.T) {
+	f, err := omegasm.NewFleet(append(fleetOpts(3, 3),
+		omegasm.WithClusterOptions(1, omegasm.WithN(5), omegasm.WithAlgorithm(omegasm.Bounded)),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	if n := f.Cluster(0).N(); n != 3 {
+		t.Errorf("cluster 0 N = %d, want 3", n)
+	}
+	if n := f.Cluster(1).N(); n != 5 {
+		t.Errorf("cluster 1 N = %d, want 5 (override)", n)
+	}
+	if a := f.Cluster(1).Algorithm(); a != omegasm.Bounded {
+		t.Errorf("cluster 1 algorithm = %v, want Bounded (override)", a)
+	}
+	if a := f.Cluster(2).Algorithm(); a != omegasm.WriteEfficient {
+		t.Errorf("cluster 2 algorithm = %v, want the base default", a)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.WaitForAgreement(20 * time.Second); !ok {
+		t.Fatal("heterogeneous fleet did not agree")
+	}
+}
+
+func TestFleetClusterOutOfRange(t *testing.T) {
+	f, err := omegasm.NewFleet(fleetOpts(2, 2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	if f.Cluster(-1) != nil || f.Cluster(2) != nil || f.Cluster(1<<20) != nil {
+		t.Error("out-of-range Cluster() returned non-nil")
+	}
+	if f.Cluster(0) == nil || f.Cluster(1) == nil {
+		t.Error("in-range Cluster() returned nil")
+	}
+}
+
+func TestFleetStopBeforeStart(t *testing.T) {
+	f, err := omegasm.NewFleet(fleetOpts(2, 2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Stop() // never started: must not hang or panic
+	f.Stop() // and stays idempotent
+	if err := f.Start(); err == nil {
+		t.Error("Start accepted after Stop")
 	}
 }
 
 func TestFleetElectsEverywhere(t *testing.T) {
 	const clusters = 4
-	f := startFleet(t, omegasm.FleetConfig{Clusters: clusters, Cluster: fastClusterConfig(3)})
+	f := startFleet(t, fleetOpts(clusters, 3)...)
 	if f.Clusters() != clusters {
 		t.Fatalf("Clusters() = %d", f.Clusters())
 	}
@@ -72,7 +140,7 @@ func TestFleetElectsEverywhere(t *testing.T) {
 }
 
 func TestFleetCrashReElection(t *testing.T) {
-	f := startFleet(t, omegasm.FleetConfig{Clusters: 2, Cluster: fastClusterConfig(3)})
+	f := startFleet(t, fleetOpts(2, 3)...)
 	leaders, ok := f.WaitForAgreement(20 * time.Second)
 	if !ok {
 		t.Fatal("no initial agreement")
@@ -113,7 +181,7 @@ func TestFleetCrashReElection(t *testing.T) {
 // are safe at arbitrary rates.
 func TestFleetConcurrentQueries(t *testing.T) {
 	const clusters = 3
-	f := startFleet(t, omegasm.FleetConfig{Clusters: clusters, Cluster: fastClusterConfig(3)})
+	f := startFleet(t, fleetOpts(clusters, 3)...)
 	if _, ok := f.WaitForAgreement(20 * time.Second); !ok {
 		t.Fatal("no agreement")
 	}
@@ -134,7 +202,7 @@ func TestFleetConcurrentQueries(t *testing.T) {
 }
 
 func TestFleetStartStopIdempotent(t *testing.T) {
-	f, err := omegasm.NewFleet(omegasm.FleetConfig{Clusters: 2, Cluster: fastClusterConfig(2)})
+	f, err := omegasm.NewFleet(fleetOpts(2, 2)...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,49 @@
+package consensus
+
+import (
+	"context"
+	"time"
+
+	"omegasm/internal/vclock"
+)
+
+// Steppable is one drivable state machine: Proposer, Replica and KV all
+// take micro-steps through this shape, so the same driver serves the
+// whole stack.
+type Steppable interface {
+	Step(now vclock.Time)
+}
+
+// StepFunc adapts a function to Steppable (e.g. to drive KV.StepN bursts).
+type StepFunc func(now vclock.Time)
+
+// Step implements Steppable.
+func (f StepFunc) Step(now vclock.Time) { f(now) }
+
+// Drive steps every machine whose live(i) reports true once per interval,
+// until ctx is done. It is the context-aware driving loop for running the
+// consensus layer on live goroutines (under the simulator the scheduler
+// steps machines itself); now is nanoseconds since Drive started. Drive
+// blocks; run it on its own goroutine and cancel ctx to stop.
+func Drive(ctx context.Context, interval time.Duration, live func(i int) bool, machines []Steppable) {
+	if interval <= 0 {
+		interval = 200 * time.Microsecond
+	}
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			now := vclock.Time(time.Since(start))
+			for i, m := range machines {
+				if live != nil && !live(i) {
+					continue
+				}
+				m.Step(now)
+			}
+		}
+	}
+}

@@ -84,15 +84,71 @@ func (kv *KV) Applied() int {
 
 // Step advances the underlying replica and applies newly committed
 // entries in log order.
-func (kv *KV) Step(now vclock.Time) {
+func (kv *KV) Step(now vclock.Time) { kv.StepN(now, 1) }
+
+// StepN advances the replica by up to n micro-steps under one lock
+// acquisition, then applies newly committed entries in log order. Paxos
+// phases are micro-steps (one phase action each), so a slot commit needs
+// several; bursting them amortizes the lock handoff when readers contend
+// for the store — on a timer-resolution-bound host this is the difference
+// between one commit per several ticks and several commits per tick.
+func (kv *KV) StepN(now vclock.Time, n int) {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	kv.replica.Step(now)
-	committed := kv.replica.Committed()
+	for i := 0; i < n; i++ {
+		kv.replica.Step(now)
+	}
+	committed := kv.replica.committed
 	for ; kv.applied < len(committed); kv.applied++ {
 		key, val := DecodeSet(committed[kv.applied])
 		kv.state[key] = val
 	}
+}
+
+// CommittedLen returns the length of the replica's committed prefix.
+func (kv *KV) CommittedLen() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return len(kv.replica.committed)
+}
+
+// Capacity returns the total number of log slots.
+func (kv *KV) Capacity() int {
+	return len(kv.replica.log.Slots)
+}
+
+// CommittedContainsAfter reports whether cmd appears in the replica's
+// committed prefix at slot index from or later — how a synchronous writer
+// observes that its own submission (not some identical historical
+// command) survived replication: it records the committed length before
+// submitting and scans only the entries appended after that watermark,
+// which also keeps the scan O(new entries) instead of O(log).
+func (kv *KV) CommittedContainsAfter(from int, cmd uint32) bool {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	committed := kv.replica.committed
+	if from < 0 {
+		from = 0
+	}
+	for _, c := range committed[min(from, len(committed)):] {
+		if c == cmd {
+			return true
+		}
+	}
+	return false
+}
+
+// DropPending discards the replica's queued-but-unproposed commands and
+// returns how many were dropped. The replicated-service layer calls it on
+// the replicas a leadership change left behind: their queues would
+// otherwise be re-proposed whenever that replica regains leadership,
+// committing stale writes after newer ones.
+func (kv *KV) DropPending() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	n := len(kv.replica.pending)
+	kv.replica.pending = nil
+	return n
 }
 
 // Snapshot returns a copy of the applied state.

@@ -12,10 +12,14 @@ import (
 // STOP are unchanged.
 //
 // The increment of NSUSP[k] is a read-modify-write; in the simulation a
-// whole T3 firing is a single scheduler event, so the RMW is atomic. (On
-// the live runtime the variant would need a fetch-and-add register; the
-// paper assumes atomic nWnR registers, which subsume that. The live
-// runtime ships Algo1/Algo2 instead.)
+// whole T3 firing is a single scheduler event, so the RMW is atomic. On
+// the live runtime (the paper assumes atomic nWnR registers, which
+// subsume fetch-and-add) the read and write are two separate register
+// operations, so concurrent increments can collapse into one. That only
+// under-counts suspicions — the counter stays monotone, and convergence
+// is unaffected: once the run stabilizes no process suspects the leader,
+// every NSUSP register stops changing, and all processes compute the same
+// lexicographic minimum.
 type SharedN struct {
 	N        int
 	NSusp    []shmem.Reg // [k], multi-writer

@@ -88,9 +88,10 @@ var registry []Experiment
 func register(e Experiment) { registry = append(registry, e) }
 
 // All returns the experiments in report order: the figure experiments
-// (F1..F5), then the theorem/table experiments (T1..T6), then the
-// ablations (A1, A2). Registration order is file-init order and is not
-// meaningful.
+// (F-series) first, then the theorem/table experiments (T-series), then
+// the ablations (A-series). Registration order is file-init order and is
+// not meaningful; IDs lists the actual index, so documentation derived
+// from it cannot drift as experiments are added.
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
 	rank := func(id string) int {
@@ -102,6 +103,17 @@ func All() []Experiment {
 	}
 	sort.Slice(out, func(i, j int) bool { return rank(out[i].ID) < rank(out[j].ID) })
 	return out
+}
+
+// IDs returns every registered experiment id in report order. CLI help
+// text is derived from this list so it tracks the index automatically.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
 }
 
 // ByID returns the experiment with the given ID.

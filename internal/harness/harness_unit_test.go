@@ -31,6 +31,28 @@ func TestAllRegistered(t *testing.T) {
 	}
 }
 
+// TestIDsTracksIndex pins the contract CLI help is built on: IDs reflects
+// the registry (including the post-T6 additions that once went stale in
+// hand-written docs) in report order.
+func TestIDsTracksIndex(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Fatalf("IDs() has %d entries, registry %d", len(ids), len(All()))
+	}
+	for _, must := range []string{"T7", "A1", "A3"} {
+		found := false
+		for _, id := range ids {
+			if id == must {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("IDs() missing %s: %v", must, ids)
+		}
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	if (Config{}).seeds() != 10 {
 		t.Errorf("default seeds = %d", (Config{}).seeds())

@@ -45,6 +45,19 @@ type FleetQueryPoint struct {
 	QueriesPerSec   float64 `json:"queries_per_sec"`
 }
 
+// KVThroughputPoint is one data point of the replicated key-value store
+// throughput benchmark: async writes submitted to the Omega-elected
+// leader, committed through the Disk-Paxos log, applied on every replica.
+type KVThroughputPoint struct {
+	Procs     int    `json:"procs"`
+	Substrate string `json:"substrate"`
+	// CommitsPerSec is committed-and-applied log entries per second at the
+	// reading replica; ReadsPerSec is local Get throughput measured
+	// concurrently.
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	ReadsPerSec   float64 `json:"reads_per_sec"`
+}
+
 // BenchReport is the envelope of a BENCH_*.json file.
 type BenchReport struct {
 	// Name identifies the benchmark ("census_contention", ...).

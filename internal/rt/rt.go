@@ -1,6 +1,9 @@
 // Package rt is the live runtime: it runs the core state machines on real
-// goroutines, with sync/atomic registers (or SAN-replicated ones) and
-// time.Timer-based timers.
+// goroutines with time.Timer-based timers. The runtime is substrate-
+// agnostic: processes close over registers of any shmem.Mem (sync/atomic
+// words, SAN-replicated disks, ...) — rt only schedules their steps, so
+// one runtime serves every substrate the public API can be configured
+// with.
 //
 // Mapping to the paper's model:
 //
@@ -22,6 +25,7 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -190,14 +194,26 @@ func (r *Runtime) AgreedLeader() (int, bool) {
 // WaitForAgreement polls until all live processes agree on a live leader
 // or the timeout elapses.
 func (r *Runtime) WaitForAgreement(timeout time.Duration) (int, bool) {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return r.WaitForAgreementContext(ctx)
+}
+
+// WaitForAgreementContext polls until all live processes agree on a live
+// leader or ctx is done.
+func (r *Runtime) WaitForAgreementContext(ctx context.Context) (int, bool) {
+	ticker := time.NewTicker(r.cfg.StepInterval)
+	defer ticker.Stop()
+	for {
 		if l, ok := r.AgreedLeader(); ok && !r.Crashed(l) {
 			return l, true
 		}
-		time.Sleep(r.cfg.StepInterval)
+		select {
+		case <-ctx.Done():
+			return -1, false
+		case <-ticker.C:
+		}
 	}
-	return -1, false
 }
 
 // N returns the number of processes.

@@ -1,0 +1,284 @@
+package omegasm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"omegasm/internal/consensus"
+	"omegasm/internal/vclock"
+)
+
+// ErrNoLeader is returned by KV.Set when the cluster's live processes do
+// not currently agree on a live leader, so there is no replica to route
+// the write to. Retry after WaitForAgreement, or use Put, which retries
+// across anarchy periods itself.
+var ErrNoLeader = errors.New("omegasm: no agreed leader")
+
+// ErrLogFull is returned when the replicated log has decided every slot;
+// the store keeps serving reads but accepts no further writes.
+var ErrLogFull = errors.New("omegasm: replicated log is full")
+
+// KVOption configures NewKV.
+type KVOption func(*kvSettings) error
+
+type kvSettings struct {
+	slots    int
+	interval time.Duration
+	burst    int
+}
+
+// KVSlots sets the replicated log's capacity in commands (default 1024).
+// Each slot pre-allocates one consensus instance (3 registers per
+// process) on the cluster's substrate.
+func KVSlots(n int) KVOption {
+	return func(s *kvSettings) error {
+		if n < 1 {
+			return fmt.Errorf("omegasm: need at least 1 log slot, got %d", n)
+		}
+		s.slots = n
+		return nil
+	}
+}
+
+// KVStepInterval sets the cadence of the store's replication driver
+// (default: the cluster's step interval). Each tick advances every live
+// replica by a burst of micro-steps.
+func KVStepInterval(d time.Duration) KVOption {
+	return func(s *kvSettings) error {
+		if d <= 0 {
+			return fmt.Errorf("omegasm: KV step interval must be positive, got %v", d)
+		}
+		s.interval = d
+		return nil
+	}
+}
+
+// KVStepBurst sets how many replica micro-steps each driver tick runs
+// (default: 8 on the atomic substrate, 2 on the SAN). Paxos phases are
+// micro-steps, so one slot commit needs several; the burst decouples
+// commit rate from the host's timer resolution. On the SAN every step
+// costs real quorum I/O, so keep the burst small there.
+func KVStepBurst(n int) KVOption {
+	return func(s *kvSettings) error {
+		if n < 1 {
+			return fmt.Errorf("omegasm: KV step burst must be at least 1, got %d", n)
+		}
+		s.burst = n
+		return nil
+	}
+}
+
+// KV is a replicated key-value store served by the cluster: the full
+// Paxos-style stack the paper motivates, from the Omega oracle at the
+// bottom through an Omega-driven Disk-Paxos replicated log to a
+// converging store at the top — over whichever substrate the cluster was
+// built on (atomic registers or the SAN).
+//
+// Writes route to the replica the oracle names leader and are committed
+// by consensus, so they survive any minority of process crashes (and, on
+// the SAN, any minority of disk crashes); after a leader crash the store
+// resumes as soon as the survivors re-elect. Reads are served from the
+// local applied state — sequential consistency, not linearizability.
+type KV struct {
+	c        *Cluster
+	interval time.Duration
+	stores   []*consensus.KV
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewKV builds and starts the cluster's replicated key-value store: one
+// replica per process over a freshly allocated log on the cluster's
+// shared memory, plus a background driver stepping the live replicas.
+// A cluster serves at most one KV in its lifetime (the log's register
+// namespace is claimed permanently); a second call errors. Call Close to
+// stop replication.
+func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
+	if c == nil {
+		return nil, fmt.Errorf("omegasm: nil cluster")
+	}
+	set := &kvSettings{slots: 1024, interval: c.stepInterval(), burst: 8}
+	if c.DiskCount() > 0 {
+		set.burst = 2 // SAN steps cost quorum I/O; idle bursts are not free
+	}
+	for _, o := range opts {
+		if o == nil {
+			return nil, fmt.Errorf("omegasm: nil KVOption")
+		}
+		if err := o(set); err != nil {
+			return nil, err
+		}
+	}
+	c.svcMu.Lock()
+	if c.kvTaken {
+		c.svcMu.Unlock()
+		return nil, fmt.Errorf("omegasm: cluster already serves a KV store")
+	}
+	c.kvTaken = true
+	c.svcMu.Unlock()
+
+	n := c.N()
+	log := consensus.NewLog(c.mem, n, set.slots)
+	stores := make([]*consensus.KV, n)
+	machines := make([]consensus.Steppable, n)
+	for i := 0; i < n; i++ {
+		replica, err := consensus.NewReplica(log, i, c.oracle(i))
+		if err != nil {
+			return nil, fmt.Errorf("omegasm: kv replica %d: %w", i, err)
+		}
+		store, err := consensus.NewKV(replica)
+		if err != nil {
+			return nil, fmt.Errorf("omegasm: kv replica %d: %w", i, err)
+		}
+		stores[i] = store
+		machines[i] = consensus.StepFunc(func(now vclock.Time) {
+			store.StepN(now, set.burst)
+		})
+	}
+	// The leadership watcher runs ahead of the replicas each tick: when
+	// the agreed leader changes, the queues stranded on the other replicas
+	// are dropped. Without this, a demoted-but-live leader would re-propose
+	// its stale queue whenever it regains leadership, committing old writes
+	// after newer ones; with it, a stale command can only still commit via
+	// ballot adoption in the first undecided slot — i.e. never after a
+	// newer command. (Writers that still care re-submit: Put retries.)
+	lastLeader := -1
+	watcher := consensus.StepFunc(func(vclock.Time) {
+		l, ok := c.AgreedLeader()
+		if !ok || l < 0 || c.Crashed(l) {
+			return
+		}
+		if l != lastLeader {
+			for i, st := range stores {
+				if i != l {
+					st.DropPending()
+				}
+			}
+			lastLeader = l
+		}
+	})
+	machines = append([]consensus.Steppable{watcher}, machines...)
+	live := func(i int) bool { return i == 0 || !c.Crashed(i-1) }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	kv := &KV{
+		c:        c,
+		interval: set.interval,
+		stores:   stores,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+	}
+	go func() {
+		defer close(kv.done)
+		consensus.Drive(ctx, set.interval, live, machines)
+	}()
+	return kv, nil
+}
+
+// Close stops the replication driver. Reads keep answering from the
+// frozen applied state; writes stop committing. Idempotent.
+func (kv *KV) Close() {
+	kv.cancel()
+	<-kv.done
+}
+
+// readStore picks the replica to answer reads: the agreed leader's (it
+// commits first, so it is the freshest), else the lowest-id live replica.
+func (kv *KV) readStore() *consensus.KV {
+	if l, ok := kv.c.AgreedLeader(); ok && l >= 0 && !kv.c.Crashed(l) {
+		return kv.stores[l]
+	}
+	for i, s := range kv.stores {
+		if !kv.c.Crashed(i) {
+			return s
+		}
+	}
+	return kv.stores[0]
+}
+
+// Set queues a write on the current leader's replica and returns without
+// waiting for commit. It errors with ErrNoLeader during anarchy periods
+// and ErrLogFull once the log is exhausted. A write queued on a leader
+// that crashes before committing it is lost — use Put for an
+// acknowledged write that retries across leader changes.
+func (kv *KV) Set(key, val uint16) error {
+	st := kv.readStore()
+	if st.CommittedLen() == st.Capacity() {
+		return ErrLogFull
+	}
+	l, ok := kv.c.AgreedLeader()
+	if !ok || l < 0 || kv.c.Crashed(l) {
+		return ErrNoLeader
+	}
+	return kv.stores[l].Set(key, val)
+}
+
+// Put replicates one write and returns once it is committed: it submits
+// to the current leader, watches the log entries appended after the call
+// began (a watermark per replica, so an identical historical write never
+// counts as this call's success), and resubmits if leadership moves
+// before the command lands (a leadership change takes the old leader's
+// uncommitted queue with it). Re-submission can commit the command into
+// more than one slot; the store applies sets idempotently, so duplicates
+// only spend log capacity. Put returns ctx's error on cancellation and
+// ErrLogFull if the log fills before the command commits.
+func (kv *KV) Put(ctx context.Context, key, val uint16) error {
+	cmd := consensus.EncodeSet(key, val)
+	if cmd == consensus.NoValue {
+		return fmt.Errorf("omegasm: key/value pair (0x%04x, 0x%04x) is reserved", key, val)
+	}
+	// Commit watermarks: only entries a replica appends from here on can
+	// acknowledge this call.
+	marks := make([]int, len(kv.stores))
+	for i, s := range kv.stores {
+		marks[i] = s.CommittedLen()
+	}
+	submittedTo := -1
+	ticker := time.NewTicker(kv.interval)
+	defer ticker.Stop()
+	for {
+		for i, s := range kv.stores {
+			if !kv.c.Crashed(i) && s.CommittedContainsAfter(marks[i], cmd) {
+				return nil
+			}
+		}
+		st := kv.readStore()
+		if st.CommittedLen() == st.Capacity() {
+			return ErrLogFull
+		}
+		if l, ok := kv.c.AgreedLeader(); ok && l >= 0 && !kv.c.Crashed(l) && l != submittedTo {
+			if err := kv.stores[l].Set(key, val); err != nil {
+				return err
+			}
+			submittedTo = l
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Get returns the value of key in the applied state of the freshest
+// readable replica (the leader's when one is agreed). Reads are
+// sequentially consistent: they reflect a committed prefix, possibly a
+// slightly stale one.
+func (kv *KV) Get(key uint16) (uint16, bool) {
+	return kv.readStore().Get(key)
+}
+
+// Len returns the number of keys in the applied state.
+func (kv *KV) Len() int { return kv.readStore().Len() }
+
+// Applied returns how many log entries the reading replica has applied.
+func (kv *KV) Applied() int { return kv.readStore().Applied() }
+
+// Snapshot returns a copy of the applied state.
+func (kv *KV) Snapshot() map[uint16]uint16 { return kv.readStore().Snapshot() }
+
+// Capacity returns the replicated log's total slot count.
+func (kv *KV) Capacity() int { return kv.stores[0].Capacity() }

@@ -1,0 +1,218 @@
+package omegasm_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"omegasm"
+)
+
+func TestProposeDecides(t *testing.T) {
+	c := startCluster(t, fastOpts(3)...)
+	if _, ok := c.WaitForAgreement(10 * time.Second); !ok {
+		t.Fatal("no agreement")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	v, err := c.Propose(ctx, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("decided %d, want 42", v)
+	}
+	// One-shot: a later proposal with a different value returns the
+	// already-decided one.
+	v2, err := c.Propose(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 42 {
+		t.Fatalf("second Propose decided %d, want the original 42", v2)
+	}
+}
+
+func TestProposeValidatesAndCancels(t *testing.T) {
+	c := startCluster(t, fastOpts(3)...)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.Propose(ctx, 0xFFFFFFFF); err == nil {
+		t.Error("reserved sentinel value accepted")
+	}
+	// A cancelled context must end the call promptly even before any
+	// decision is possible.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if _, err := c.Propose(done, 5); err == nil {
+		t.Error("Propose returned nil error on a dead context")
+	}
+}
+
+func TestKVPutGet(t *testing.T) {
+	c := startCluster(t, fastOpts(3)...)
+	if _, ok := c.WaitForAgreement(10 * time.Second); !ok {
+		t.Fatal("no agreement")
+	}
+	kv, err := omegasm.NewKV(c, omegasm.KVSlots(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if kv.Capacity() != 64 {
+		t.Errorf("Capacity() = %d", kv.Capacity())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for k := uint16(0); k < 8; k++ {
+		if err := kv.Put(ctx, k, 100+k); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	for k := uint16(0); k < 8; k++ {
+		if v, ok := kv.Get(k); !ok || v != 100+k {
+			t.Errorf("Get(%d) = %d, %v", k, v, ok)
+		}
+	}
+	if _, ok := kv.Get(999); ok {
+		t.Error("Get of a never-written key reported ok")
+	}
+	if kv.Len() != 8 {
+		t.Errorf("Len() = %d, want 8", kv.Len())
+	}
+	if kv.Applied() < 8 {
+		t.Errorf("Applied() = %d, want >= 8", kv.Applied())
+	}
+	snap := kv.Snapshot()
+	if len(snap) != 8 || snap[3] != 103 {
+		t.Errorf("Snapshot() = %v", snap)
+	}
+	// Overwrite: last committed set wins.
+	if err := kv.Put(ctx, 3, 999); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := kv.Get(3); v != 999 {
+		t.Errorf("after overwrite Get(3) = %d", v)
+	}
+	// Regression: re-writing a value the key held before must commit a
+	// fresh log entry, not count the historical commit as success.
+	if err := kv.Put(ctx, 3, 103); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := kv.Get(3); v != 103 {
+		t.Errorf("re-write of a prior value lost: Get(3) = %d, want 103", v)
+	}
+	// The reserved (0xFFFF, 0xFFFF) pair is rejected synchronously.
+	if err := kv.Put(ctx, 0xFFFF, 0xFFFF); err == nil {
+		t.Error("reserved pair accepted")
+	}
+}
+
+// TestKVSurvivesLeaderCrash is the acceptance scenario: the store keeps
+// serving reads and committing writes across a leader crash; committed
+// pre-crash keys stay visible.
+func TestKVSurvivesLeaderCrash(t *testing.T) {
+	c := startCluster(t, fastOpts(4)...)
+	leader, ok := c.WaitForAgreement(10 * time.Second)
+	if !ok {
+		t.Fatal("no agreement")
+	}
+	kv, err := omegasm.NewKV(c, omegasm.KVSlots(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for k := uint16(0); k < 5; k++ {
+		if err := kv.Put(ctx, k, 10+k); err != nil {
+			t.Fatalf("pre-crash put %d: %v", k, err)
+		}
+	}
+	if err := c.Crash(leader); err != nil {
+		t.Fatal(err)
+	}
+	// Reads keep answering immediately (from a surviving replica).
+	if v, ok := kv.Get(0); !ok || v != 10 {
+		t.Errorf("Get(0) after crash = %d, %v", v, ok)
+	}
+	// Writes resume once the survivors re-elect; Put retries internally.
+	for k := uint16(5); k < 10; k++ {
+		if err := kv.Put(ctx, k, 10+k); err != nil {
+			t.Fatalf("post-crash put %d: %v", k, err)
+		}
+	}
+	for k := uint16(0); k < 10; k++ {
+		if v, ok := kv.Get(k); !ok || v != 10+k {
+			t.Errorf("Get(%d) = %d, %v after failover", k, v, ok)
+		}
+	}
+}
+
+func TestKVValidation(t *testing.T) {
+	if _, err := omegasm.NewKV(nil); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	c := startCluster(t, fastOpts(2)...)
+	if _, err := omegasm.NewKV(c, omegasm.KVSlots(0)); err == nil {
+		t.Error("0 slots accepted")
+	}
+	if _, err := omegasm.NewKV(c, omegasm.KVStepInterval(0)); err == nil {
+		t.Error("0 step interval accepted")
+	}
+	if _, err := omegasm.NewKV(c, nil); err == nil {
+		t.Error("nil KVOption accepted")
+	}
+	kv, err := omegasm.NewKV(c, omegasm.KVSlots(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if _, err := omegasm.NewKV(c); err == nil {
+		t.Error("second KV on one cluster accepted")
+	}
+}
+
+// TestKVLogFull exhausts a tiny log and checks writes fail cleanly while
+// reads keep working.
+func TestKVLogFull(t *testing.T) {
+	c := startCluster(t, fastOpts(3)...)
+	if _, ok := c.WaitForAgreement(10 * time.Second); !ok {
+		t.Fatal("no agreement")
+	}
+	kv, err := omegasm.NewKV(c, omegasm.KVSlots(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for k := uint16(0); k < 4; k++ {
+		if err := kv.Put(ctx, k, k); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	if err := kv.Put(ctx, 9, 9); err != omegasm.ErrLogFull {
+		t.Errorf("Put on a full log: %v, want ErrLogFull", err)
+	}
+	if err := kv.Set(9, 9); err != omegasm.ErrLogFull {
+		t.Errorf("Set on a full log: %v, want ErrLogFull", err)
+	}
+	if v, ok := kv.Get(2); !ok || v != 2 {
+		t.Errorf("read after log full: %d, %v", v, ok)
+	}
+}
+
+// TestKVCloseIdempotent checks Close twice and freezes the state.
+func TestKVCloseIdempotent(t *testing.T) {
+	c := startCluster(t, fastOpts(2)...)
+	kv, err := omegasm.NewKV(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv.Close()
+	kv.Close()
+	if _, ok := kv.Get(1); ok {
+		t.Error("empty closed store answered a key")
+	}
+}

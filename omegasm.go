@@ -1,7 +1,8 @@
 // Package omegasm is the public API of the reproduction of "Electing an
 // Eventual Leader in an Asynchronous Shared Memory System" (Fernández,
 // Jiménez, Raynal; DSN 2007): eventual leader (Omega) election for
-// crash-prone processes that communicate only through shared memory.
+// crash-prone processes that communicate only through shared memory, plus
+// the Paxos-style replication stack the paper motivates on top of it.
 //
 // The Omega abstraction provides each process a Leader() query whose
 // answers eventually converge, at every live process, on the identity of
@@ -9,16 +10,41 @@
 // for solving consensus in this model; it is the election core of
 // Paxos-style replication.
 //
-// A Cluster runs one process per participant on live goroutines, with
-// sync/atomic shared registers and real timers:
+// A Cluster is built from functional options and runs one process per
+// participant on live goroutines:
 //
-//	c, err := omegasm.New(omegasm.Config{N: 5})
+//	c, err := omegasm.New(omegasm.WithN(5))
 //	...
 //	c.Start()
 //	defer c.Stop()
 //	leader, ok := c.WaitForAgreement(2 * time.Second)
 //
-// Two algorithms are available (Config.Algorithm):
+// # Substrates
+//
+// The processes communicate through a pluggable shared-memory Substrate.
+// The default is Atomic(): sync/atomic registers in process memory. The
+// paper's motivating deployment — "computers that communicate through a
+// network of attached disks ... a storage area network (SAN)" (its
+// Section 1, pointing at Disk Paxos) — is the SAN substrate: every
+// register replicated over simulated network-attached disks, written to
+// all and acknowledged by a majority, so disk crashes below a majority
+// are masked:
+//
+//	c, err := omegasm.New(
+//		omegasm.WithN(3),
+//		omegasm.WithSAN(omegasm.SANConfig{
+//			Disks:       5,
+//			BaseLatency: 200 * time.Microsecond,
+//			Jitter:      300 * time.Microsecond,
+//		}),
+//	)
+//	...
+//	leader, ok := c.WaitForAgreement(time.Minute)
+//	c.CrashDisk(0) // a minority of disk crashes is invisible to callers
+//
+// # Algorithms
+//
+// Four algorithm variants are available (WithAlgorithm):
 //
 //   - WriteEfficient (default; the paper's Figure 2): after the run
 //     stabilizes, only the elected leader writes shared memory, and every
@@ -28,6 +54,19 @@
 //     (the handshake registers are single bits); the price — proven
 //     unavoidable by the paper's Theorem 5 — is that every live process
 //     writes shared memory forever.
+//   - NWnR (the paper's Section 3.5): WriteEfficient with each suspicion
+//     column collapsed into one multi-writer register — n registers
+//     instead of n².
+//   - TimerFree (the paper's Section 3.5): WriteEfficient with the local
+//     timer replaced by a counted loop, dropping the timer assumption.
+//
+// # Consensus and replication
+//
+// Because Omega is exactly the liveness ingredient Paxos needs, a Cluster
+// also exposes the replication stack: Propose runs one-shot consensus
+// among the cluster's processes, and NewKV serves a replicated key-value
+// store over an Omega-driven Disk-Paxos log — both over whichever
+// substrate the cluster was built on.
 //
 // Liveness rests on the paper's AWB assumption, which on a live host is
 // mild: at least one live process's scheduler keeps granting it steps at
@@ -38,12 +77,14 @@
 package omegasm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"omegasm/internal/core"
 	"omegasm/internal/rt"
+	"omegasm/internal/san"
 	"omegasm/internal/shmem"
 )
 
@@ -58,7 +99,19 @@ const (
 	// Bounded is the paper's Figure 5 algorithm: every shared variable
 	// bounded; every live process writes forever.
 	Bounded
+	// NWnR is the paper's Section 3.5 multi-writer variant: Figure 2 with
+	// each SUSPICIONS column collapsed into one nWnR register, shrinking
+	// the register count from O(n²) to O(n).
+	NWnR
+	// TimerFree is the paper's Section 3.5 clock-free variant: Figure 2
+	// with the local timer replaced by a counted loop, so liveness needs
+	// no assumption on hardware timers at all.
+	TimerFree
 )
+
+func (a Algorithm) valid() bool {
+	return a >= WriteEfficient && a <= TimerFree
+}
 
 func (a Algorithm) String() string {
 	switch a {
@@ -66,12 +119,22 @@ func (a Algorithm) String() string {
 		return "WriteEfficient"
 	case Bounded:
 		return "Bounded"
+	case NWnR:
+		return "NWnR"
+	case TimerFree:
+		return "TimerFree"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
 }
 
-// Config parameterizes a Cluster.
+// Config is the closed configuration struct of the pre-options API.
+//
+// Deprecated: build clusters with New and functional options instead.
+// The field mapping is WithN(cfg.N), WithAlgorithm(cfg.Algorithm),
+// WithStepInterval(cfg.StepInterval), WithTimerUnit(cfg.TimerUnit) and
+// WithInstrumentation() for Instrument; Config cannot express substrates
+// or the fleet options.
 type Config struct {
 	// N is the number of processes (>= 2).
 	N int
@@ -83,49 +146,103 @@ type Config struct {
 	// TimerUnit converts the algorithms' abstract timeout values into
 	// real durations; default 2ms.
 	TimerUnit time.Duration
-	// Instrument enables the shared-memory access census (Stats). The
-	// census is lock-free — per-process atomic counters per register —
-	// so the cost is a few uncontended atomic adds per access.
+	// Instrument enables the shared-memory access census (Stats).
 	Instrument bool
+}
+
+// options converts the legacy struct into the equivalent option list.
+func (cfg Config) options() []Option {
+	opts := []Option{WithN(cfg.N)}
+	if cfg.Algorithm != 0 {
+		opts = append(opts, WithAlgorithm(cfg.Algorithm))
+	}
+	if cfg.StepInterval > 0 {
+		opts = append(opts, WithStepInterval(cfg.StepInterval))
+	}
+	if cfg.TimerUnit > 0 {
+		opts = append(opts, WithTimerUnit(cfg.TimerUnit))
+	}
+	if cfg.Instrument {
+		opts = append(opts, WithInstrumentation())
+	}
+	return opts
+}
+
+// NewFromConfig builds a Cluster from the legacy Config struct.
+//
+// Deprecated: use New with functional options.
+func NewFromConfig(cfg Config) (*Cluster, error) {
+	return New(cfg.options()...)
 }
 
 // Cluster is a running set of Omega processes over one shared memory.
 type Cluster struct {
-	cfg Config
-	mem *shmem.AtomicMem
-	rt  *rt.Runtime
+	set   *settings
+	mem   shmem.Mem
+	disks []*san.Disk
+	rt    *rt.Runtime
+
+	// arena is the lazily created one-shot consensus instance Propose
+	// drives; kvTaken marks the register namespace of the replicated log
+	// as claimed. Both under svcMu.
+	svcMu   sync.Mutex
+	arena   *proposeArena
+	kvTaken bool
 }
 
-// New validates cfg and builds a stopped Cluster; call Start to run it.
-func New(cfg Config) (*Cluster, error) {
-	if cfg.N < 2 {
-		return nil, fmt.Errorf("omegasm: need at least 2 processes, got %d", cfg.N)
+// New validates the options and builds a stopped Cluster; call Start to
+// run it. WithN is required; everything else has defaults (algorithm
+// WriteEfficient, substrate Atomic, pacing chosen by the substrate).
+func New(opts ...Option) (*Cluster, error) {
+	s := newSettings()
+	if err := s.apply(opts); err != nil {
+		return nil, err
 	}
-	if cfg.Algorithm == 0 {
-		cfg.Algorithm = WriteEfficient
+	if err := s.rejectFleetOptions(); err != nil {
+		return nil, err
 	}
-	mem := shmem.NewAtomicMem(cfg.N, cfg.Instrument)
-	procs := make([]rt.Proc, cfg.N)
-	switch cfg.Algorithm {
+	return newCluster(s)
+}
+
+// newCluster builds a Cluster from resolved settings (shared by New and
+// NewFleet, which resolves per-member settings itself).
+func newCluster(s *settings) (*Cluster, error) {
+	if err := s.finalizeCluster(); err != nil {
+		return nil, err
+	}
+	opened, err := s.substrate.open(s.n, s.instrument)
+	if err != nil {
+		return nil, err
+	}
+	procs := make([]rt.Proc, s.n)
+	switch s.algorithm {
 	case WriteEfficient:
-		for i, p := range core.BuildAlgo1(mem, cfg.N) {
+		for i, p := range core.BuildAlgo1(opened.mem, s.n) {
 			procs[i] = p
 		}
 	case Bounded:
-		for i, p := range core.BuildAlgo2(mem, cfg.N) {
+		for i, p := range core.BuildAlgo2(opened.mem, s.n) {
+			procs[i] = p
+		}
+	case NWnR:
+		for i, p := range core.BuildNWNR(opened.mem, s.n) {
+			procs[i] = p
+		}
+	case TimerFree:
+		for i, p := range core.BuildTimerFree(opened.mem, s.n) {
 			procs[i] = p
 		}
 	default:
-		return nil, fmt.Errorf("omegasm: unknown algorithm %v", cfg.Algorithm)
+		return nil, fmt.Errorf("omegasm: unknown algorithm %v", s.algorithm)
 	}
 	run, err := rt.New(rt.Config{
-		StepInterval: cfg.StepInterval,
-		TimerUnit:    cfg.TimerUnit,
+		StepInterval: s.stepInterval,
+		TimerUnit:    s.timerUnit,
 	}, procs)
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{cfg: cfg, mem: mem, rt: run}, nil
+	return &Cluster{set: s, mem: opened.mem, disks: opened.disks, rt: run}, nil
 }
 
 // Start launches the cluster's processes. It may be called once.
@@ -136,6 +253,32 @@ func (c *Cluster) Stop() { c.rt.Stop() }
 
 // N returns the number of processes.
 func (c *Cluster) N() int { return c.rt.N() }
+
+// Algorithm returns the election algorithm the cluster runs.
+func (c *Cluster) Algorithm() Algorithm { return c.set.algorithm }
+
+// Substrate returns the name of the shared-memory substrate the cluster
+// runs over ("atomic", "san").
+func (c *Cluster) Substrate() string { return c.set.substrate.Name() }
+
+// DiskCount returns the number of simulated disks backing a SAN cluster,
+// or 0 on the atomic substrate.
+func (c *Cluster) DiskCount() int { return len(c.disks) }
+
+// CrashDisk permanently fails disk d of a SAN-backed cluster. Crashes of
+// a minority of disks are masked by the quorum discipline; crashing a
+// majority wedges the cluster (a configuration breach, as in the paper's
+// model). It errors on the atomic substrate or an out-of-range index.
+func (c *Cluster) CrashDisk(d int) error {
+	if len(c.disks) == 0 {
+		return fmt.Errorf("omegasm: substrate %q has no disks", c.Substrate())
+	}
+	if d < 0 || d >= len(c.disks) {
+		return fmt.Errorf("omegasm: no disk %d (have %d)", d, len(c.disks))
+	}
+	c.disks[d].Crash()
+	return nil
+}
 
 // Leader returns process i's current leader estimate.
 func (c *Cluster) Leader(i int) (int, error) { return c.rt.Leader(i) }
@@ -150,12 +293,33 @@ func (c *Cluster) WaitForAgreement(timeout time.Duration) (int, bool) {
 	return c.rt.WaitForAgreement(timeout)
 }
 
+// WaitForAgreementContext blocks until every live process agrees on a
+// live leader, or ctx is done.
+func (c *Cluster) WaitForAgreementContext(ctx context.Context) (int, bool) {
+	return c.rt.WaitForAgreementContext(ctx)
+}
+
 // Crash stops process i, simulating a crash-stop failure. The survivors
 // re-elect; crashed processes never recover.
 func (c *Cluster) Crash(i int) error { return c.rt.Crash(i) }
 
 // Crashed reports whether process i has been crashed.
 func (c *Cluster) Crashed(i int) bool { return c.rt.Crashed(i) }
+
+// stepInterval is the cluster's resolved pacing, reused by the service
+// layer (Propose, KV) as its default driving cadence.
+func (c *Cluster) stepInterval() time.Duration { return c.set.stepInterval }
+
+// oracle returns process i's leader oracle for the consensus layer.
+func (c *Cluster) oracle(i int) func() int {
+	return func() int {
+		l, err := c.rt.Leader(i)
+		if err != nil {
+			return -1
+		}
+		return l
+	}
+}
 
 // LeadershipEvent reports a change in the cluster-wide agreement state,
 // as observed by Watch.
@@ -230,7 +394,7 @@ type RegisterStats struct {
 }
 
 // Stats summarizes the cluster's shared-memory accesses. It returns nil
-// unless Config.Instrument was set.
+// unless WithInstrumentation was set.
 type Stats struct {
 	// Writers[p] is the total number of register writes by process p;
 	// Readers[p] the total reads.
@@ -244,15 +408,19 @@ type Stats struct {
 }
 
 // Stats snapshots the access census, or returns nil if instrumentation is
-// off.
+// off (or the substrate records no census).
 func (c *Cluster) Stats() *Stats {
-	if !c.cfg.Instrument {
+	if !c.set.instrument {
 		return nil
 	}
-	snap := c.mem.Census().Snapshot()
+	census := c.mem.Census()
+	if census == nil {
+		return nil
+	}
+	snap := census.Snapshot()
 	s := &Stats{
-		Writers:   make([]uint64, c.cfg.N),
-		Readers:   make([]uint64, c.cfg.N),
+		Writers:   make([]uint64, c.set.n),
+		Readers:   make([]uint64, c.set.n),
 		TotalBits: snap.TotalBits(),
 	}
 	for _, r := range snap.Regs {

@@ -7,25 +7,6 @@ import (
 	"omegasm"
 )
 
-func TestNewValidation(t *testing.T) {
-	if _, err := omegasm.New(omegasm.Config{N: 1}); err == nil {
-		t.Error("N=1 accepted")
-	}
-	if _, err := omegasm.New(omegasm.Config{N: 0}); err == nil {
-		t.Error("N=0 accepted")
-	}
-	if _, err := omegasm.New(omegasm.Config{N: -3}); err == nil {
-		t.Error("negative N accepted")
-	}
-	if _, err := omegasm.New(omegasm.Config{N: 3, Algorithm: omegasm.Algorithm(99)}); err == nil {
-		t.Error("unknown algorithm accepted")
-	}
-	// The zero Algorithm means the default (WriteEfficient), not an error.
-	if _, err := omegasm.New(omegasm.Config{N: 2}); err != nil {
-		t.Errorf("default config rejected: %v", err)
-	}
-}
-
 func TestAlgorithmString(t *testing.T) {
 	if omegasm.WriteEfficient.String() != "WriteEfficient" {
 		t.Error(omegasm.WriteEfficient.String())
@@ -33,14 +14,30 @@ func TestAlgorithmString(t *testing.T) {
 	if omegasm.Bounded.String() != "Bounded" {
 		t.Error(omegasm.Bounded.String())
 	}
+	if omegasm.NWnR.String() != "NWnR" {
+		t.Error(omegasm.NWnR.String())
+	}
+	if omegasm.TimerFree.String() != "TimerFree" {
+		t.Error(omegasm.TimerFree.String())
+	}
 	if omegasm.Algorithm(9).String() != "Algorithm(9)" {
 		t.Error(omegasm.Algorithm(9).String())
 	}
 }
 
-func startCluster(t *testing.T, cfg omegasm.Config) *omegasm.Cluster {
+// fastOpts is the fast-paced atomic-substrate configuration most tests
+// run with.
+func fastOpts(n int) []omegasm.Option {
+	return []omegasm.Option{
+		omegasm.WithN(n),
+		omegasm.WithStepInterval(100 * time.Microsecond),
+		omegasm.WithTimerUnit(time.Millisecond),
+	}
+}
+
+func startCluster(t *testing.T, opts ...omegasm.Option) *omegasm.Cluster {
 	t.Helper()
-	c, err := omegasm.New(cfg)
+	c, err := omegasm.New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,16 +48,17 @@ func startCluster(t *testing.T, cfg omegasm.Config) *omegasm.Cluster {
 	return c
 }
 
+// TestClusterElection elects under every exposed algorithm variant; under
+// -race this doubles as the data-race check for all four on the live
+// runtime.
 func TestClusterElection(t *testing.T) {
-	for _, algo := range []omegasm.Algorithm{omegasm.WriteEfficient, omegasm.Bounded} {
+	for _, algo := range []omegasm.Algorithm{
+		omegasm.WriteEfficient, omegasm.Bounded, omegasm.NWnR, omegasm.TimerFree,
+	} {
 		algo := algo
 		t.Run(algo.String(), func(t *testing.T) {
-			c := startCluster(t, omegasm.Config{
-				N:            4,
-				Algorithm:    algo,
-				StepInterval: 100 * time.Microsecond,
-				TimerUnit:    time.Millisecond,
-			})
+			t.Parallel()
+			c := startCluster(t, append(fastOpts(4), omegasm.WithAlgorithm(algo))...)
 			leader, ok := c.WaitForAgreement(10 * time.Second)
 			if !ok {
 				t.Fatal("no agreement")
@@ -71,16 +69,18 @@ func TestClusterElection(t *testing.T) {
 			if c.N() != 4 {
 				t.Errorf("N() = %d", c.N())
 			}
+			if c.Algorithm() != algo {
+				t.Errorf("Algorithm() = %v", c.Algorithm())
+			}
+			if c.Substrate() != "atomic" {
+				t.Errorf("Substrate() = %q", c.Substrate())
+			}
 		})
 	}
 }
 
 func TestClusterCrashReElection(t *testing.T) {
-	c := startCluster(t, omegasm.Config{
-		N:            4,
-		StepInterval: 100 * time.Microsecond,
-		TimerUnit:    time.Millisecond,
-	})
+	c := startCluster(t, fastOpts(4)...)
 	leader, ok := c.WaitForAgreement(10 * time.Second)
 	if !ok {
 		t.Fatal("no agreement")
@@ -101,7 +101,7 @@ func TestClusterCrashReElection(t *testing.T) {
 }
 
 func TestStatsRequiresInstrumentation(t *testing.T) {
-	c := startCluster(t, omegasm.Config{N: 2})
+	c := startCluster(t, omegasm.WithN(2))
 	if c.Stats() != nil {
 		t.Error("Stats() non-nil without Instrument")
 	}
@@ -113,12 +113,7 @@ func TestStatsRequiresInstrumentation(t *testing.T) {
 }
 
 func TestStatsShape(t *testing.T) {
-	c := startCluster(t, omegasm.Config{
-		N:            3,
-		Instrument:   true,
-		StepInterval: 100 * time.Microsecond,
-		TimerUnit:    time.Millisecond,
-	})
+	c := startCluster(t, append(fastOpts(3), omegasm.WithInstrumentation())...)
 	if _, ok := c.WaitForAgreement(10 * time.Second); !ok {
 		t.Fatal("no agreement")
 	}
@@ -146,11 +141,7 @@ func TestStatsShape(t *testing.T) {
 }
 
 func TestWatchObservesFailover(t *testing.T) {
-	c := startCluster(t, omegasm.Config{
-		N:            4,
-		StepInterval: 100 * time.Microsecond,
-		TimerUnit:    time.Millisecond,
-	})
+	c := startCluster(t, fastOpts(4)...)
 	events, cancel := c.Watch(200 * time.Microsecond)
 	defer cancel()
 
@@ -195,11 +186,7 @@ func TestWatchObservesFailover(t *testing.T) {
 // most recent change, and the first receive after a burst of leadership
 // changes must observe the newest state, not the oldest.
 func TestWatchCoalescesForSlowReceiver(t *testing.T) {
-	c := startCluster(t, omegasm.Config{
-		N:            4,
-		StepInterval: 100 * time.Microsecond,
-		TimerUnit:    time.Millisecond,
-	})
+	c := startCluster(t, fastOpts(4)...)
 	first, ok := c.WaitForAgreement(10 * time.Second)
 	if !ok {
 		t.Fatal("no initial agreement")
@@ -234,7 +221,7 @@ func TestWatchCoalescesForSlowReceiver(t *testing.T) {
 }
 
 func TestWatchCancelAfterStop(t *testing.T) {
-	c, err := omegasm.New(omegasm.Config{N: 2})
+	c, err := omegasm.New(omegasm.WithN(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +239,7 @@ func TestWatchCancelAfterStop(t *testing.T) {
 }
 
 func TestWatchCancelClosesChannel(t *testing.T) {
-	c := startCluster(t, omegasm.Config{N: 2})
+	c := startCluster(t, omegasm.WithN(2))
 	events, cancel := c.Watch(0) // default interval
 	cancel()
 	cancel() // idempotent

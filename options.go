@@ -1,0 +1,251 @@
+package omegasm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Option configures New (cluster options) or NewFleet (cluster options
+// applied to every member, plus the fleet-only options WithClusters,
+// WithRefreshInterval and WithClusterOptions). Options are applied in
+// order; later options override earlier ones. An option that is invalid
+// on its own (WithN(1), WithAlgorithm(99)) fails the constructor with a
+// descriptive error, as do conflicting combinations (two substrates) and
+// fleet-only options passed to New.
+type Option func(*settings) error
+
+// settings is the resolved configuration an option list denotes. One
+// settings value describes one cluster; fleet-only fields ride along and
+// are rejected where they make no sense.
+type settings struct {
+	// Cluster-level.
+	n            int
+	algorithm    Algorithm
+	stepInterval time.Duration
+	stepSet      bool
+	timerUnit    time.Duration
+	timerSet     bool
+	instrument   bool
+	substrate    Substrate
+	substrateSet bool
+
+	// Fleet-level.
+	clusters        int
+	refreshInterval time.Duration
+	overrides       []clusterOverride
+	fleetOpts       []string // fleet-only options seen; New rejects them
+
+	// inOverride is true while a WithClusterOptions list is applied, so
+	// fleet-only options can reject nesting.
+	inOverride bool
+}
+
+type clusterOverride struct {
+	index int
+	opts  []Option
+}
+
+// newSettings returns the defaults an empty option list denotes. N has no
+// default: WithN is required.
+func newSettings() *settings {
+	return &settings{
+		algorithm: WriteEfficient,
+		substrate: Atomic(),
+		clusters:  1,
+	}
+}
+
+// apply runs every option against s.
+func (s *settings) apply(opts []Option) error {
+	for _, o := range opts {
+		if o == nil {
+			return fmt.Errorf("omegasm: nil Option")
+		}
+		if err := o(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finalizeCluster validates the cluster-level fields and fills the
+// remaining defaults (the substrate chooses the pacing defaults: disk
+// registers are orders of magnitude slower than atomic words).
+func (s *settings) finalizeCluster() error {
+	if s.n < 2 {
+		return fmt.Errorf("omegasm: need at least 2 processes, got %d (use WithN)", s.n)
+	}
+	if !s.algorithm.valid() {
+		return fmt.Errorf("omegasm: unknown algorithm %v", s.algorithm)
+	}
+	step, timer := s.substrate.pacing()
+	if !s.stepSet {
+		s.stepInterval = step
+	}
+	if !s.timerSet {
+		s.timerUnit = timer
+	}
+	return nil
+}
+
+// rejectFleetOptions errors if any fleet-only option was used; New calls
+// it so WithClusters et al. cannot silently vanish into a single cluster.
+func (s *settings) rejectFleetOptions() error {
+	if len(s.fleetOpts) > 0 {
+		return fmt.Errorf("omegasm: option %s only applies to NewFleet", s.fleetOpts[0])
+	}
+	return nil
+}
+
+// setSubstrate installs sub, rejecting a second substrate choice.
+func (s *settings) setSubstrate(sub Substrate, option string) error {
+	if s.substrateSet {
+		return fmt.Errorf("omegasm: conflicting substrate options (%s after the substrate was already chosen)", option)
+	}
+	s.substrate = sub
+	s.substrateSet = true
+	return nil
+}
+
+// WithN sets the number of processes per cluster (required, >= 2).
+func WithN(n int) Option {
+	return func(s *settings) error {
+		if n < 2 {
+			return fmt.Errorf("omegasm: need at least 2 processes, got %d", n)
+		}
+		s.n = n
+		return nil
+	}
+}
+
+// WithAlgorithm selects the election algorithm (default WriteEfficient).
+// All four variants — WriteEfficient, Bounded, NWnR, TimerFree — run on
+// every substrate.
+func WithAlgorithm(a Algorithm) Option {
+	return func(s *settings) error {
+		if !a.valid() {
+			return fmt.Errorf("omegasm: unknown algorithm %v", a)
+		}
+		s.algorithm = a
+		return nil
+	}
+}
+
+// WithStepInterval sets the pause between main-loop iterations of each
+// process. The default depends on the substrate: 200us on atomic memory,
+// 2ms on a SAN (quorum disk accesses are slow; pacing faster than the
+// medium just queues suspicion). Smaller values elect faster and write
+// more.
+func WithStepInterval(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("omegasm: step interval must be positive, got %v", d)
+		}
+		s.stepInterval = d
+		s.stepSet = true
+		return nil
+	}
+}
+
+// WithTimerUnit sets the conversion from the algorithms' abstract timeout
+// values into real durations. The default depends on the substrate: 2ms
+// on atomic memory, 25ms on a SAN.
+func WithTimerUnit(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("omegasm: timer unit must be positive, got %v", d)
+		}
+		s.timerUnit = d
+		s.timerSet = true
+		return nil
+	}
+}
+
+// WithInstrumentation enables the shared-memory access census (Stats).
+// The census is lock-free — per-process atomic counters per register — so
+// the cost is a few uncontended atomic adds per access.
+func WithInstrumentation() Option {
+	return func(s *settings) error {
+		s.instrument = true
+		return nil
+	}
+}
+
+// WithSubstrate selects the shared-memory substrate the cluster's
+// processes communicate through: Atomic() (the default) or SAN(cfg).
+// Conflicts with WithSAN and with a second WithSubstrate.
+func WithSubstrate(sub Substrate) Option {
+	return func(s *settings) error {
+		if sub == nil {
+			return fmt.Errorf("omegasm: nil substrate")
+		}
+		return s.setSubstrate(sub, "WithSubstrate")
+	}
+}
+
+// WithSAN is shorthand for WithSubstrate(SAN(cfg)): run the cluster over
+// quorum-replicated simulated network-attached disks, the paper's
+// motivating deployment. Conflicts with WithSubstrate and with a second
+// WithSAN.
+func WithSAN(cfg SANConfig) Option {
+	return func(s *settings) error {
+		sub, err := newSANSubstrate(cfg)
+		if err != nil {
+			return err
+		}
+		return s.setSubstrate(sub, "WithSAN")
+	}
+}
+
+// WithClusters sets the number of independent clusters a Fleet runs
+// (default 1). Fleet-only.
+func WithClusters(k int) Option {
+	return func(s *settings) error {
+		if s.inOverride {
+			return fmt.Errorf("omegasm: WithClusters is not allowed inside WithClusterOptions")
+		}
+		if k < 1 {
+			return fmt.Errorf("omegasm: need at least 1 cluster, got %d", k)
+		}
+		s.clusters = k
+		s.fleetOpts = append(s.fleetOpts, "WithClusters")
+		return nil
+	}
+}
+
+// WithRefreshInterval sets how often a Fleet refreshes its cached
+// per-cluster agreement view; default 200us. Leader answers are at most
+// this stale. Fleet-only.
+func WithRefreshInterval(d time.Duration) Option {
+	return func(s *settings) error {
+		if s.inOverride {
+			return fmt.Errorf("omegasm: WithRefreshInterval is not allowed inside WithClusterOptions")
+		}
+		if d <= 0 {
+			return fmt.Errorf("omegasm: refresh interval must be positive, got %v", d)
+		}
+		s.refreshInterval = d
+		s.fleetOpts = append(s.fleetOpts, "WithRefreshInterval")
+		return nil
+	}
+}
+
+// WithClusterOptions overrides options for one member cluster of a Fleet:
+// the fleet's cluster-level options are applied first, then opts, so a
+// heterogeneous fleet (one SAN-backed cluster among atomic ones, one
+// instrumented canary, a different algorithm per tenant) is a list of
+// overrides away. index is zero-based; fleet-only options cannot nest.
+// Fleet-only.
+func WithClusterOptions(index int, opts ...Option) Option {
+	return func(s *settings) error {
+		if s.inOverride {
+			return fmt.Errorf("omegasm: WithClusterOptions does not nest")
+		}
+		if index < 0 {
+			return fmt.Errorf("omegasm: cluster override index %d is negative", index)
+		}
+		s.overrides = append(s.overrides, clusterOverride{index: index, opts: opts})
+		s.fleetOpts = append(s.fleetOpts, "WithClusterOptions")
+		return nil
+	}
+}

@@ -1,0 +1,111 @@
+package omegasm
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"omegasm/internal/consensus"
+)
+
+// arenaTag is the instance tag of the Propose arena's registers. Log
+// slots use tags >= 0, so the arena's register names never collide with a
+// KV's replicated log on the same shared memory.
+const arenaTag = -1
+
+// proposeArena is the cluster's lazily created one-shot consensus
+// instance: one proposer per process, all driven by whichever Propose
+// callers are currently blocked, with Omega injecting liveness (only the
+// process the oracle names leader advances ballots; safety never depends
+// on the oracle).
+type proposeArena struct {
+	props []*consensus.Proposer
+
+	// driving is true while one blocked caller acts as the arena's sole
+	// driver; the others only poll for the decision, so concurrent
+	// Propose calls never multiply the stepping work (each step is N
+	// register reads — real quorum I/O on the SAN).
+	driving bool
+	decided bool
+	value   uint32
+}
+
+// Propose runs one-shot consensus among the cluster's processes over the
+// cluster's substrate and returns the decided value.
+//
+// The first call fixes the arena's proposal: every process proposes that
+// value, so whichever process the Omega oracle stabilizes on drives it to
+// decision (Disk Paxos over the cluster's registers; see
+// internal/consensus). Later calls — concurrent or after the decision —
+// join the same instance and return the already-decided value, which may
+// differ from their argument; single-shot consensus decides once per
+// cluster. v must not be 0xFFFFFFFF (the reserved no-value sentinel).
+//
+// Propose blocks until the decision is known or ctx is done. The cluster
+// should be started: liveness needs the election to converge, though a
+// decision can be reached during anarchy too (any majority-visible ballot
+// completes).
+func (c *Cluster) Propose(ctx context.Context, v uint32) (uint32, error) {
+	c.svcMu.Lock()
+	if c.arena == nil {
+		a := &proposeArena{}
+		inst := consensus.NewInstance(c.mem, c.N(), arenaTag)
+		for i := 0; i < c.N(); i++ {
+			p, err := consensus.NewProposer(inst, i, v, c.oracle(i))
+			if err != nil {
+				c.svcMu.Unlock()
+				return 0, fmt.Errorf("omegasm: propose: %w", err)
+			}
+			a.props = append(a.props, p)
+		}
+		c.arena = a
+	}
+	a := c.arena
+	c.svcMu.Unlock()
+
+	// One caller drives; the rest poll. If the driver leaves (its context
+	// died), the next polling caller takes over on its tick.
+	iDrive := false
+	defer func() {
+		if iDrive {
+			c.svcMu.Lock()
+			a.driving = false
+			c.svcMu.Unlock()
+		}
+	}()
+	ticker := time.NewTicker(c.stepInterval())
+	defer ticker.Stop()
+	for {
+		c.svcMu.Lock()
+		if a.decided {
+			v := a.value
+			c.svcMu.Unlock()
+			return v, nil
+		}
+		if iDrive || !a.driving {
+			if !iDrive {
+				iDrive, a.driving = true, true
+			}
+			for i, p := range a.props {
+				if c.Crashed(i) {
+					continue
+				}
+				p.Step(0)
+				if val, ok := p.Decided(); ok {
+					a.decided, a.value = true, val
+					break
+				}
+			}
+		}
+		decided, val := a.decided, a.value
+		c.svcMu.Unlock()
+		if decided {
+			return val, nil
+		}
+		select {
+		case <-ctx.Done():
+			return 0, fmt.Errorf("omegasm: propose: %w", ctx.Err())
+		case <-ticker.C:
+		}
+	}
+}
