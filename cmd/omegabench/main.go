@@ -162,6 +162,32 @@ func runBench(dir string, dur time.Duration) int {
 		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
 		return 1
 	}
+	fmt.Printf("wrote %s\n\n", path)
+
+	fmt.Printf("engine wakeup: polling vs wake-driven KV commits (%v per point):\n", dur)
+	var wakePoints []harness.EngineWakeupPoint
+	for _, p := range []struct {
+		procs    int
+		interval time.Duration
+	}{{3, 200 * time.Microsecond}, {5, 200 * time.Microsecond}, {3, time.Millisecond}} {
+		pt, err := harness.BenchEngineWakeup(p.procs, p.interval, dur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omegabench: wakeup bench: %v\n", err)
+			return 1
+		}
+		wakePoints = append(wakePoints, pt)
+		fmt.Printf("  n=%d tick=%4.0fus  polling=%8.0f commits/s  wake=%8.0f commits/s  speedup=%.1fx\n",
+			pt.Procs, pt.IntervalUsec, pt.PollingCommitsPerSec, pt.WakeCommitsPerSec, pt.Speedup)
+	}
+	path, err = harness.WriteBenchJSON(dir, harness.BenchReport{
+		Name:   "engine_wakeup",
+		Unit:   "synchronous committed writes/sec, polling driver vs wake-driven engine",
+		Points: wakePoints,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+		return 1
+	}
 	fmt.Printf("wrote %s\n", path)
 	return 0
 }

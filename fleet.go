@@ -5,6 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"omegasm/internal/engine"
+	"omegasm/internal/vclock"
 )
 
 // FleetConfig is the closed configuration struct of the pre-options
@@ -56,8 +59,8 @@ type Fleet struct {
 	mu      sync.Mutex
 	started bool
 	stopped bool
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	// eng hosts the view refresher as one fixed-cadence machine.
+	eng *engine.Live
 }
 
 // packView encodes an AgreedLeader result in one word: bit 63 set when the
@@ -97,7 +100,7 @@ func NewFleet(opts ...Option) (*Fleet, error) {
 		return nil, err
 	}
 	if fs.refreshInterval <= 0 {
-		fs.refreshInterval = 200 * time.Microsecond
+		fs.refreshInterval = engine.DefaultStepInterval
 	}
 	for _, ov := range fs.overrides {
 		if ov.index >= fs.clusters {
@@ -107,7 +110,7 @@ func NewFleet(opts ...Option) (*Fleet, error) {
 	f := &Fleet{
 		refreshInterval: fs.refreshInterval,
 		view:            make([]atomic.Uint64, fs.clusters),
-		stop:            make(chan struct{}),
+		eng:             engine.NewLive(engine.LiveConfig{}),
 	}
 	for i := 0; i < fs.clusters; i++ {
 		// Re-resolve the full option list per member so each cluster gets
@@ -155,23 +158,14 @@ func (f *Fleet) Start() error {
 			return err
 		}
 	}
-	f.wg.Add(1)
-	go func() {
-		defer f.wg.Done()
-		ticker := time.NewTicker(f.refreshInterval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-f.stop:
-				return
-			case <-ticker.C:
-				for i := range f.clusters {
-					f.refresh(i)
-				}
-			}
+	interval := int64(f.refreshInterval)
+	f.eng.Add(engine.MachineFunc(func(now vclock.Time) engine.Hint {
+		for i := range f.clusters {
+			f.refresh(i)
 		}
-	}()
-	return nil
+		return engine.At(now + interval)
+	}), engine.FirstStepAt(interval))
+	return f.eng.Start()
 }
 
 // refresh folds cluster i's live agreement state into the cached view.
@@ -189,8 +183,7 @@ func (f *Fleet) Stop() {
 		return
 	}
 	f.stopped = true
-	close(f.stop)
-	f.wg.Wait()
+	f.eng.Stop()
 	for _, c := range f.clusters {
 		c.Stop()
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"omegasm/internal/engine"
 	"omegasm/internal/vclock"
 )
 
@@ -21,29 +22,34 @@ type StepFunc func(now vclock.Time)
 func (f StepFunc) Step(now vclock.Time) { f(now) }
 
 // Drive steps every machine whose live(i) reports true once per interval,
-// until ctx is done. It is the context-aware driving loop for running the
-// consensus layer on live goroutines (under the simulator the scheduler
-// steps machines itself); now is nanoseconds since Drive started. Drive
+// until ctx is done; now is nanoseconds since Drive started. Drive
 // blocks; run it on its own goroutine and cancel ctx to stop.
+//
+// Deprecated-in-spirit compatibility shim: Drive predates the engine
+// layer and polls blindly — every machine is stepped every tick whether
+// or not it has work, and work enqueued between ticks waits for the next
+// one. It is kept (implemented over a single engine.Live machine, with
+// the historical semantics) for callers that drive raw Steppables
+// themselves; the public KV service now runs its replicas as wake-hinted
+// engine machines instead, which is why a Put wakes a parked replica
+// immediately. New code should add machines to an engine.Live directly.
 func Drive(ctx context.Context, interval time.Duration, live func(i int) bool, machines []Steppable) {
 	if interval <= 0 {
-		interval = 200 * time.Microsecond
+		interval = engine.DefaultStepInterval
 	}
-	start := time.Now()
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-ticker.C:
-			now := vclock.Time(time.Since(start))
-			for i, m := range machines {
-				if live != nil && !live(i) {
-					continue
-				}
-				m.Step(now)
+	eng := engine.NewLive(engine.LiveConfig{})
+	eng.Add(engine.MachineFunc(func(now vclock.Time) engine.Hint {
+		for i, m := range machines {
+			if live != nil && !live(i) {
+				continue
 			}
+			m.Step(now)
 		}
+		return engine.At(now + int64(interval))
+	}), engine.FirstStepAt(int64(interval)))
+	if err := eng.Start(); err != nil {
+		return
 	}
+	<-ctx.Done()
+	eng.Stop()
 }

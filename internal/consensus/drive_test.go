@@ -1,0 +1,125 @@
+package consensus
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"omegasm/internal/vclock"
+)
+
+// TestDriveStopsOnContextCancel: Drive must return promptly once its
+// context dies, and step nothing afterwards.
+func TestDriveStopsOnContextCancel(t *testing.T) {
+	var steps atomic.Int64
+	m := StepFunc(func(vclock.Time) { steps.Add(1) })
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Drive(ctx, 100*time.Microsecond, nil, []Steppable{m})
+	}()
+	// Let it tick a few times, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for steps.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if steps.Load() < 3 {
+		t.Fatal("driver never ticked")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drive did not return after cancel")
+	}
+	after := steps.Load()
+	time.Sleep(20 * time.Millisecond)
+	if got := steps.Load(); got != after {
+		t.Errorf("machines stepped %d more times after Drive returned", got-after)
+	}
+}
+
+// TestDriveLiveFiltering: machines whose live(i) is false are skipped;
+// liveness flips take effect on the next tick.
+func TestDriveLiveFiltering(t *testing.T) {
+	var a, b atomic.Int64
+	var bLive atomic.Bool
+	machines := []Steppable{
+		StepFunc(func(vclock.Time) { a.Add(1) }),
+		StepFunc(func(vclock.Time) { b.Add(1) }),
+	}
+	live := func(i int) bool { return i == 0 || bLive.Load() }
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Drive(ctx, 100*time.Microsecond, live, machines)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Load() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.Load() < 5 {
+		t.Fatal("live machine never stepped")
+	}
+	if b.Load() != 0 {
+		t.Fatalf("dead machine stepped %d times", b.Load())
+	}
+	bLive.Store(true)
+	before := b.Load()
+	for b.Load() < before+3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if b.Load() < before+3 {
+		t.Error("revived machine not stepped after liveness flip")
+	}
+	cancel()
+	<-done
+}
+
+// TestDriveDefaultIntervalNormalization: a non-positive interval falls
+// back to the shared engine default instead of panicking the ticker.
+func TestDriveDefaultIntervalNormalization(t *testing.T) {
+	for _, interval := range []time.Duration{0, -time.Second} {
+		var steps atomic.Int64
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			Drive(ctx, interval, nil, []Steppable{StepFunc(func(vclock.Time) { steps.Add(1) })})
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for steps.Load() < 2 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		<-done
+		if steps.Load() < 2 {
+			t.Fatalf("interval %v: driver did not tick at the default cadence", interval)
+		}
+	}
+}
+
+// TestDriveMonotonicNow: the virtual now handed to machines never goes
+// backwards and starts near zero.
+func TestDriveMonotonicNow(t *testing.T) {
+	var last atomic.Int64
+	var bad atomic.Bool
+	m := StepFunc(func(now vclock.Time) {
+		if now < last.Load() {
+			bad.Store(true)
+		}
+		last.Store(now)
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	Drive(ctx, 100*time.Microsecond, nil, []Steppable{m})
+	if bad.Load() {
+		t.Error("now went backwards")
+	}
+	if last.Load() <= 0 {
+		t.Error("now never advanced")
+	}
+}

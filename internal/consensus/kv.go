@@ -92,9 +92,17 @@ func (kv *KV) Step(now vclock.Time) { kv.StepN(now, 1) }
 // several; bursting them amortizes the lock handoff when readers contend
 // for the store — on a timer-resolution-bound host this is the difference
 // between one commit per several ticks and several commits per tick.
-func (kv *KV) StepN(now vclock.Time, n int) {
+func (kv *KV) StepN(now vclock.Time, n int) { kv.StepBurst(now, n) }
+
+// StepBurst is StepN reporting progress, for wake-driven engines: it
+// returns how many entries newly committed during the burst and how many
+// submitted commands remain unproposed, so a driver can decide between
+// stepping again immediately (work is draining), polling later (idle), or
+// signalling waiting writers (commits landed).
+func (kv *KV) StepBurst(now vclock.Time, n int) (newlyCommitted, pending int) {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
+	before := len(kv.replica.committed)
 	for i := 0; i < n; i++ {
 		kv.replica.Step(now)
 	}
@@ -103,6 +111,31 @@ func (kv *KV) StepN(now vclock.Time, n int) {
 		key, val := DecodeSet(committed[kv.applied])
 		kv.state[key] = val
 	}
+	return len(committed) - before, len(kv.replica.pending)
+}
+
+// PendingContains reports whether cmd is still in the replica's
+// submitted-but-uncommitted queue. A writer uses it to detect that a
+// leadership change swept its command away (DropPending) so it must
+// resubmit, even when the leader it originally submitted to is the
+// agreed leader again.
+func (kv *KV) PendingContains(cmd uint32) bool {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	for _, c := range kv.replica.pending {
+		if c == cmd {
+			return true
+		}
+	}
+	return false
+}
+
+// Committed returns a copy of the replica's committed prefix, in log
+// order.
+func (kv *KV) Committed() []uint32 {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.replica.Committed()
 }
 
 // CommittedLen returns the length of the replica's committed prefix.

@@ -1,0 +1,362 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omegasm/internal/vclock"
+)
+
+// LiveConfig parameterizes a live engine.
+type LiveConfig struct {
+	// TimerUnit converts TimerMachine timeout values into real durations;
+	// default DefaultTimerUnit.
+	TimerUnit time.Duration
+	// InitialTimeout is the value every TimerMachine's timer is first set
+	// to; default 1 (as in the simulator).
+	InitialTimeout uint64
+}
+
+func (c *LiveConfig) normalize() {
+	if c.TimerUnit <= 0 {
+		c.TimerUnit = DefaultTimerUnit
+	}
+	if c.InitialTimeout == 0 {
+		c.InitialTimeout = 1
+	}
+}
+
+// Live drives a set of machines on one scheduler goroutine with
+// deadline-ordered stepping: machines sleep exactly until their earliest
+// wake hint, a Notify wakes a machine immediately (a parked KV replica
+// wakes on Put enqueue instead of at the next poll tick), and a machine
+// hinting WakeNow is re-stepped back to back, so bursts drain at CPU
+// speed. Time is vclock.Time nanoseconds since Start.
+type Live struct {
+	cfg   LiveConfig
+	start time.Time
+
+	mu       sync.Mutex
+	machines []*liveMachine
+	queue    eventQueue
+	seq      uint64
+	started  bool
+	stopped  bool
+
+	kick chan struct{} // wakes the scheduler after a Notify
+	halt chan struct{}
+	wg   sync.WaitGroup
+}
+
+type liveMachine struct {
+	m  Machine
+	tm TimerMachine // nil when m has no timer task
+
+	firstAt vclock.Time // first step deadline (ns since start)
+
+	// stepMu serializes the machine's step/timer bodies against Crash:
+	// after Crash returns, no step of the machine is in flight and none
+	// will start.
+	stepMu  sync.Mutex
+	crashed atomic.Bool
+
+	// stepGen, under Live.mu, invalidates superseded step entries in the
+	// queue (a Notify bumps it so the stale future deadline is dropped
+	// when popped). Parking needs no flag: a parked machine simply has no
+	// live step entry, and Notify pushes one.
+	stepGen uint64
+}
+
+// event and eventQueue are shared by the live and virtual-time engines:
+// both order (deadline, arrival) pairs, the only difference being whether
+// at counts nanoseconds since Start or abstract ticks.
+type evKind int
+
+const (
+	evStep evKind = iota + 1
+	evTimer
+)
+
+type event struct {
+	at   vclock.Time
+	seq  uint64
+	kind evKind
+	id   int
+	gen  uint64
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// NewLive builds a stopped live engine; Add machines, then Start.
+func NewLive(cfg LiveConfig) *Live {
+	cfg.normalize()
+	return &Live{
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		halt: make(chan struct{}),
+	}
+}
+
+// AddOpt configures one machine added to a live engine.
+type AddOpt func(*liveMachine)
+
+// FirstStepAt sets the machine's first step deadline, in nanoseconds
+// since Start (default 0: step as soon as the engine runs).
+func FirstStepAt(at vclock.Time) AddOpt {
+	return func(m *liveMachine) { m.firstAt = at }
+}
+
+// Add registers a machine and returns its id. If m implements
+// TimerMachine its timer task is armed at InitialTimeout * TimerUnit.
+// Add may only be called before Start.
+func (e *Live) Add(m Machine, opts ...AddOpt) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		panic("engine: Add after Start")
+	}
+	lm := &liveMachine{m: m}
+	if tm, ok := m.(TimerMachine); ok {
+		lm.tm = tm
+	}
+	for _, o := range opts {
+		o(lm)
+	}
+	e.machines = append(e.machines, lm)
+	return len(e.machines) - 1
+}
+
+// now returns nanoseconds since Start.
+func (e *Live) now() vclock.Time { return int64(time.Since(e.start)) }
+
+// Start launches the scheduler goroutine. It may be called once; a
+// stopped engine cannot be restarted.
+func (e *Live) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return fmt.Errorf("engine: already stopped")
+	}
+	if e.started {
+		return fmt.Errorf("engine: already started")
+	}
+	e.started = true
+	e.start = time.Now()
+	for id, m := range e.machines {
+		e.push(event{at: m.firstAt, kind: evStep, id: id, gen: m.stepGen})
+		if m.tm != nil {
+			e.push(event{
+				at:   vclock.Time(e.cfg.InitialTimeout) * int64(e.cfg.TimerUnit),
+				kind: evTimer, id: id,
+			})
+		}
+	}
+	e.wg.Add(1)
+	go e.loop()
+	return nil
+}
+
+// Stop halts the scheduler and joins it. After Stop returns no machine is
+// stepping and none will step again. Idempotent.
+func (e *Live) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.stopped = true
+	started := e.started
+	e.mu.Unlock()
+	close(e.halt)
+	if started {
+		e.wg.Wait()
+	}
+}
+
+// Crash permanently deschedules machine id. When Crash returns, no step or
+// timer body of the machine is in flight and none will run again — the
+// paper's crash-stop failure. Idempotent; out-of-range ids are a no-op
+// (they already read as crashed).
+func (e *Live) Crash(id int) {
+	if id < 0 || id >= len(e.machines) {
+		return
+	}
+	m := e.machines[id]
+	m.crashed.Store(true)
+	// Wait out any in-flight step: the dispatcher holds stepMu across the
+	// body and re-checks crashed after acquiring it.
+	m.stepMu.Lock()
+	//lint:ignore SA2001 the critical section is the wait itself
+	m.stepMu.Unlock()
+}
+
+// Crashed reports whether machine id has been crashed.
+func (e *Live) Crashed(id int) bool {
+	if id < 0 || id >= len(e.machines) {
+		return true
+	}
+	return e.machines[id].crashed.Load()
+}
+
+// Notify wakes machine id immediately: a parked machine is re-scheduled,
+// and a machine sleeping toward a poll deadline is pulled forward to now.
+// Safe from any goroutine, including machine step bodies. Notifying a
+// crashed or stopped engine's machine is a no-op.
+func (e *Live) Notify(id int) {
+	e.mu.Lock()
+	if e.stopped || id < 0 || id >= len(e.machines) {
+		e.mu.Unlock()
+		return
+	}
+	m := e.machines[id]
+	if m.crashed.Load() {
+		e.mu.Unlock()
+		return
+	}
+	m.stepGen++ // invalidate the outstanding (later) step entry, if any
+	if e.started {
+		e.push(event{at: e.now(), kind: evStep, id: id, gen: m.stepGen})
+	} else {
+		// Before Start the initial entries have not been seeded yet; just
+		// make the first step immediate.
+		m.firstAt = 0
+	}
+	e.mu.Unlock()
+	select {
+	case e.kick <- struct{}{}:
+	default:
+	}
+}
+
+// push enqueues ev; caller holds e.mu.
+func (e *Live) push(ev event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.queue, ev)
+}
+
+// loop is the scheduler: pop due events, dispatch, sleep until the next
+// deadline or a Notify.
+func (e *Live) loop() {
+	defer e.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		e.mu.Lock()
+		if e.stopped {
+			e.mu.Unlock()
+			return
+		}
+		now := e.now()
+		var due []event
+		for e.queue.Len() > 0 && e.queue[0].at <= now {
+			ev := heap.Pop(&e.queue).(event)
+			m := e.machines[ev.id]
+			if m.crashed.Load() {
+				continue
+			}
+			if ev.kind == evStep && ev.gen != m.stepGen {
+				continue // superseded by a Notify
+			}
+			due = append(due, ev)
+		}
+		var wait time.Duration = -1
+		if len(due) == 0 && e.queue.Len() > 0 {
+			wait = time.Duration(e.queue[0].at - now)
+		}
+		e.mu.Unlock()
+
+		if len(due) > 0 {
+			for _, ev := range due {
+				e.dispatch(ev)
+			}
+			// Yield between drain rounds: on a saturated host a machine
+			// hinting WakeNow in a loop would otherwise starve readers and
+			// writers of the structures it is filling.
+			runtime.Gosched()
+			continue // hints may have queued immediate work
+		}
+
+		if wait < 0 {
+			wait = time.Hour // everything parked: only a Notify can wake us
+		}
+		timer.Reset(wait)
+		select {
+		case <-e.halt:
+			timer.Stop()
+			return
+		case <-e.kick:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-timer.C:
+		}
+	}
+}
+
+// dispatch runs one due event's machine body and schedules its successor.
+func (e *Live) dispatch(ev event) {
+	m := e.machines[ev.id]
+	m.stepMu.Lock()
+	if m.crashed.Load() {
+		m.stepMu.Unlock()
+		return
+	}
+	now := e.now()
+	switch ev.kind {
+	case evStep:
+		hint := m.m.Step(now)
+		m.stepMu.Unlock()
+		e.mu.Lock()
+		if !e.stopped && !m.crashed.Load() && m.stepGen == ev.gen {
+			switch hint.Kind {
+			case WakeNow:
+				e.push(event{at: now, kind: evStep, id: ev.id, gen: m.stepGen})
+			case WakeAt:
+				e.push(event{at: hint.At, kind: evStep, id: ev.id, gen: m.stepGen})
+			case WakePark:
+				// No successor entry: the machine sleeps until Notify.
+			default:
+				panic(fmt.Sprintf("engine: invalid wake hint %+v", hint))
+			}
+		}
+		e.mu.Unlock()
+	case evTimer:
+		x := m.tm.OnTimer(now)
+		m.stepMu.Unlock()
+		if x > 0 {
+			e.mu.Lock()
+			if !e.stopped && !m.crashed.Load() {
+				e.push(event{
+					at:   now + int64(x)*int64(e.cfg.TimerUnit),
+					kind: evTimer, id: ev.id,
+				})
+			}
+			e.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"omegasm/internal/vclock"
+)
+
+// simRecorder records step/timer times.
+type simRecorder struct {
+	stepTimes []vclock.Time
+	fireTimes []vclock.Time
+	hint      func(now vclock.Time) Hint
+	next      uint64
+}
+
+func (r *simRecorder) Step(now vclock.Time) Hint {
+	r.stepTimes = append(r.stepTimes, now)
+	if r.hint != nil {
+		return r.hint(now)
+	}
+	return Now()
+}
+
+func (r *simRecorder) OnTimer(now vclock.Time) uint64 {
+	r.fireTimes = append(r.fireTimes, now)
+	return r.next
+}
+
+func TestSimValidation(t *testing.T) {
+	if _, err := NewSim(SimConfig{Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func(seed int64) []vclock.Time {
+		s, err := NewSim(SimConfig{Seed: seed, Horizon: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &simRecorder{next: 1}
+		s.Add(r, WithTimer(vclock.Exact{Scale: 4, Floor: 1}, 1))
+		s.Add(&simRecorder{next: 1}, WithTimer(vclock.Exact{Scale: 4, Floor: 1}, 1))
+		s.Run()
+		return r.stepTimes
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if reflect.DeepEqual(a, run(43)) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestSimCrashSchedule(t *testing.T) {
+	s, err := NewSim(SimConfig{Seed: 1, Horizon: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &simRecorder{next: 1}
+	id := s.Add(r, WithCrashAt(2_000), WithTimer(vclock.Exact{Scale: 4}, 1))
+	s.Run()
+	if !s.Crashed(id) {
+		t.Fatal("machine did not crash")
+	}
+	if s.CrashTime(id) != 2_000 {
+		t.Fatalf("CrashTime = %d", s.CrashTime(id))
+	}
+	for _, ts := range append(r.stepTimes, r.fireTimes...) {
+		if ts >= 2_000 {
+			t.Fatalf("crashed machine ran at t=%d", ts)
+		}
+	}
+}
+
+func TestSimWakeAtAndPark(t *testing.T) {
+	s, err := NewSim(SimConfig{Seed: 1, Horizon: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fixed-cadence machine: wakes exactly every 100 ticks.
+	cadence := &simRecorder{}
+	cadence.hint = func(now vclock.Time) Hint { return At(now + 100) }
+	s.Add(cadence, WithFirstWakeAt(100))
+	// A parked machine: steps once, then parks forever.
+	parked := &simRecorder{}
+	parked.hint = func(vclock.Time) Hint { return Park() }
+	s.Add(parked, WithFirstWakeAt(1))
+	s.Run()
+	if len(cadence.stepTimes) != 10 {
+		t.Fatalf("cadence machine stepped %d times, want 10: %v", len(cadence.stepTimes), cadence.stepTimes)
+	}
+	for i, ts := range cadence.stepTimes {
+		if ts != vclock.Time(100*(i+1)) {
+			t.Fatalf("cadence step %d at t=%d", i, ts)
+		}
+	}
+	if len(parked.stepTimes) != 1 {
+		t.Fatalf("parked machine stepped %d times, want 1", len(parked.stepTimes))
+	}
+}
+
+func TestSimNotifyWakesParked(t *testing.T) {
+	s, err := NewSim(SimConfig{Seed: 1, Horizon: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := &simRecorder{}
+	parked.hint = func(vclock.Time) Hint { return Park() }
+	parkedID := s.Add(parked, WithFirstWakeAt(1))
+	// A poker machine notifies the parked one at t=500.
+	poker := &simRecorder{}
+	poker.hint = func(now vclock.Time) Hint {
+		s.Notify(parkedID)
+		return Park()
+	}
+	s.Add(poker, WithFirstWakeAt(500))
+	s.Run()
+	if len(parked.stepTimes) != 2 {
+		t.Fatalf("parked machine stepped %d times, want 2 (initial + notified)", len(parked.stepTimes))
+	}
+	if got := parked.stepTimes[1]; got != 501 {
+		t.Errorf("notified wake at t=%d, want 501", got)
+	}
+}
+
+func TestSimStopEndsRun(t *testing.T) {
+	s, err := NewSim(SimConfig{Seed: 1, Horizon: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &simRecorder{}
+	m.hint = func(now vclock.Time) Hint {
+		if now >= 1_000 {
+			s.Stop()
+		}
+		return Now()
+	}
+	s.Add(m)
+	end := s.Run()
+	if end > 2_000 {
+		t.Fatalf("Stop ignored: run ended at %d", end)
+	}
+}

@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -9,7 +11,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"omegasm/internal/consensus"
+	"omegasm/internal/engine"
 	"omegasm/internal/shmem"
+	"omegasm/internal/vclock"
 )
 
 // Perf measurement for the instrumentation layer itself (as opposed to the
@@ -56,6 +61,26 @@ type KVThroughputPoint struct {
 	// concurrently.
 	CommitsPerSec float64 `json:"commits_per_sec"`
 	ReadsPerSec   float64 `json:"reads_per_sec"`
+}
+
+// EngineWakeupPoint is one data point of the engine wakeup benchmark:
+// the same synchronous replicated-write workload over the same consensus
+// stack, once under the legacy blind polling driver (consensus.Drive:
+// every machine stepped once per tick, writers polling for their commit
+// on the same cadence) and once under the wake-driven engine (the writer
+// notifies the leader machine, bursts drain back to back, commits wake
+// the writer).
+type EngineWakeupPoint struct {
+	Procs int `json:"procs"`
+	// IntervalUsec is the driver tick / fallback poll interval both
+	// drivers were given.
+	IntervalUsec float64 `json:"interval_usec"`
+	// PollingCommitsPerSec and WakeCommitsPerSec are synchronous committed
+	// writes per second under each driver.
+	PollingCommitsPerSec float64 `json:"polling_commits_per_sec"`
+	WakeCommitsPerSec    float64 `json:"wake_commits_per_sec"`
+	// Speedup is WakeCommitsPerSec / PollingCommitsPerSec.
+	Speedup float64 `json:"speedup"`
 }
 
 // BenchReport is the envelope of a BENCH_*.json file.
@@ -193,6 +218,192 @@ func contendedThroughput(w CensusWorkload, dur time.Duration) float64 {
 				w.Snapshot()
 			}
 		})
+}
+
+// KVDriver is one driving strategy over a fresh single-leader consensus
+// stack: Put performs one synchronous committed write, Close tears the
+// driver down. Shared by `omegabench -bench` (BENCH_engine_wakeup.json)
+// and BenchmarkKVWakeDriven so both measure the same thing. The oracle is
+// pinned to process 0, so the measurement isolates the driving strategy
+// from election dynamics.
+type KVDriver struct {
+	Put   func() error
+	Close func()
+
+	stores []*consensus.KV
+	k      uint32
+}
+
+// newWakeupStack builds the shared consensus stack both drivers run over.
+func newWakeupStack(procs, slots int) ([]*consensus.KV, error) {
+	mem := shmem.NewAtomicMem(procs, false)
+	log := consensus.NewLog(mem, procs, slots)
+	oracle := func() int { return 0 }
+	stores := make([]*consensus.KV, procs)
+	for i := 0; i < procs; i++ {
+		r, err := consensus.NewReplica(log, i, oracle)
+		if err != nil {
+			return nil, err
+		}
+		if stores[i], err = consensus.NewKV(r); err != nil {
+			return nil, err
+		}
+	}
+	return stores, nil
+}
+
+// put submits the driver's next command to the leader store and spins the
+// provided wait function until the commit is visible.
+func (d *KVDriver) put(wait func(mark int, cmd uint32) error) error {
+	d.k++
+	key, val := uint16(d.k%1024), uint16(d.k)
+	cmd := consensus.EncodeSet(key, val)
+	if cmd == consensus.NoValue {
+		d.k++
+		key, val = uint16(d.k%1024), uint16(d.k)
+		cmd = consensus.EncodeSet(key, val)
+	}
+	mark := d.stores[0].CommittedLen()
+	if mark == d.stores[0].Capacity() {
+		return fmt.Errorf("harness: wakeup stack log full")
+	}
+	if err := d.stores[0].Set(key, val); err != nil {
+		return err
+	}
+	return wait(mark, cmd)
+}
+
+// NewPollingKVDriver reproduces the pre-engine pipeline: machines stepped
+// by consensus.Drive once per tick, the writer polling for its commit on
+// the same cadence.
+func NewPollingKVDriver(procs, slots int, interval time.Duration) (*KVDriver, error) {
+	stores, err := newWakeupStack(procs, slots)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	machines := make([]consensus.Steppable, procs)
+	for i := range stores {
+		st := stores[i]
+		machines[i] = consensus.StepFunc(func(now vclock.Time) { st.StepN(now, 8) })
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		consensus.Drive(ctx, interval, nil, machines)
+	}()
+	d := &KVDriver{stores: stores}
+	d.Put = func() error {
+		return d.put(func(mark int, cmd uint32) error {
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for !d.stores[0].CommittedContainsAfter(mark, cmd) {
+				<-ticker.C
+			}
+			return nil
+		})
+	}
+	d.Close = func() {
+		cancel()
+		<-done
+	}
+	return d, nil
+}
+
+// NewWakeKVDriver runs the same stack as wake-hinted engine machines: the
+// writer notifies the leader machine on submit and sleeps on a commit
+// signal instead of a poll loop.
+func NewWakeKVDriver(procs, slots int, interval time.Duration) (*KVDriver, error) {
+	stores, err := newWakeupStack(procs, slots)
+	if err != nil {
+		return nil, err
+	}
+	eng := engine.NewLive(engine.LiveConfig{})
+	commit := make(chan struct{}, 1)
+	ids := make([]int, procs)
+	for i := range stores {
+		i := i
+		st := stores[i]
+		ids[i] = eng.Add(engine.MachineFunc(func(now vclock.Time) engine.Hint {
+			newly, pending := st.StepBurst(now, 8)
+			if newly > 0 {
+				// Wake the followers to learn the decisions, and the
+				// writer waiting on the leader's commit — as the public KV
+				// machines do.
+				for j, id := range ids {
+					if j != i {
+						eng.Notify(id)
+					}
+				}
+				if i == 0 {
+					select {
+					case commit <- struct{}{}:
+					default:
+					}
+				}
+				return engine.Now()
+			}
+			if pending > 0 {
+				return engine.At(now + int64(interval))
+			}
+			return engine.Park()
+		}))
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	d := &KVDriver{stores: stores}
+	d.Put = func() error {
+		return d.put(func(mark int, cmd uint32) error {
+			eng.Notify(ids[0])
+			for !d.stores[0].CommittedContainsAfter(mark, cmd) {
+				<-commit
+			}
+			return nil
+		})
+	}
+	d.Close = eng.Stop
+	return d, nil
+}
+
+// BenchEngineWakeup measures synchronous committed writes per second
+// under both drivers at the given tick interval.
+func BenchEngineWakeup(procs int, interval, dur time.Duration) (EngineWakeupPoint, error) {
+	measure := func(mk func(procs, slots int, interval time.Duration) (*KVDriver, error)) (float64, error) {
+		// The wake driver commits at CPU speed, so any fixed log size can
+		// be outrun by a long enough window: end the window early when the
+		// log nears capacity and report the rate over the shortened run.
+		const slots = 1 << 17
+		d, err := mk(procs, slots, interval)
+		if err != nil {
+			return 0, err
+		}
+		defer d.Close()
+		var commits int64
+		start := time.Now()
+		for time.Since(start) < dur && d.stores[0].CommittedLen() < slots-64 {
+			if err := d.Put(); err != nil {
+				return 0, err
+			}
+			commits++
+		}
+		return float64(commits) / time.Since(start).Seconds(), nil
+	}
+	polling, err := measure(NewPollingKVDriver)
+	if err != nil {
+		return EngineWakeupPoint{}, err
+	}
+	wake, err := measure(NewWakeKVDriver)
+	if err != nil {
+		return EngineWakeupPoint{}, err
+	}
+	return EngineWakeupPoint{
+		Procs:                procs,
+		IntervalUsec:         float64(interval) / float64(time.Microsecond),
+		PollingCommitsPerSec: polling,
+		WakeCommitsPerSec:    wake,
+		Speedup:              wake / polling,
+	}, nil
 }
 
 // contendedRun drives procs worker goroutines plus one monitor goroutine

@@ -1,36 +1,37 @@
-// Package rt is the live runtime: it runs the core state machines on real
-// goroutines with time.Timer-based timers. The runtime is substrate-
-// agnostic: processes close over registers of any shmem.Mem (sync/atomic
-// words, SAN-replicated disks, ...) — rt only schedules their steps, so
-// one runtime serves every substrate the public API can be configured
-// with.
+// Package rt is the live runtime: it runs the core state machines over
+// the live engine (internal/engine) with real-time deadlines. The runtime
+// is substrate-agnostic: processes close over registers of any shmem.Mem
+// (sync/atomic words, SAN-replicated disks, ...) — rt only schedules
+// their steps, so one runtime serves every substrate the public API can
+// be configured with.
 //
 // Mapping to the paper's model:
 //
-//   - Task T2's infinite loop is a goroutine that calls Step every
-//     StepInterval.
-//   - Task T3's timer is a time.Timer armed to TimerUnit * x after every
-//     firing, where x is the value the algorithm set the timer to (paper
-//     line 27). On a healthy machine the elapsed duration of a Go timer is
-//     at least its programmed duration, i.e. T_R(tau, x) >= TimerUnit * x:
-//     an asymptotically well-behaved timer dominating f(tau, x) =
-//     TimerUnit*x by construction — AWB2 holds. AWB1 holds for any process
-//     whose stepper goroutine keeps getting scheduled, which the Go
-//     runtime guarantees for runnable goroutines.
-//   - A crash is simulated by stopping a node's goroutines: a crashed
-//     process takes no further steps and writes nothing, exactly the
-//     paper's crash-stop failure.
+//   - Task T2's infinite loop is an engine machine whose wake hint asks
+//     for the next step StepInterval after the previous one.
+//   - Task T3's timer is the engine's timer task, armed to TimerUnit * x
+//     after every firing, where x is the value the algorithm set the
+//     timer to (paper line 27). On a healthy machine the elapsed duration
+//     of a Go timer is at least its programmed duration, i.e.
+//     T_R(tau, x) >= TimerUnit * x: an asymptotically well-behaved timer
+//     dominating f(tau, x) = TimerUnit*x by construction — AWB2 holds.
+//     AWB1 holds for any process whose engine keeps granting it steps,
+//     which the Go runtime guarantees for a runnable scheduler goroutine.
+//   - A crash permanently deschedules a node's machine: a crashed process
+//     takes no further steps and writes nothing, exactly the paper's
+//     crash-stop failure.
 //
-// All goroutines are joined on Stop — the runtime never leaks.
+// The engine's scheduler goroutine is joined on Stop — the runtime never
+// leaks.
 package rt
 
 import (
 	"context"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"omegasm/internal/engine"
 	"omegasm/internal/vclock"
 )
 
@@ -45,54 +46,66 @@ type Proc interface {
 
 // Config parameterizes the live runtime.
 type Config struct {
-	// StepInterval is the pause between T2 iterations; default 200us.
+	// StepInterval is the pause between T2 iterations; default
+	// engine.DefaultStepInterval (200us).
 	StepInterval time.Duration
 	// TimerUnit converts the algorithm's timeout value x into a real
-	// duration; default 2ms.
+	// duration; default engine.DefaultTimerUnit (2ms).
 	TimerUnit time.Duration
 }
 
 func (c *Config) normalize() {
 	if c.StepInterval <= 0 {
-		c.StepInterval = 200 * time.Microsecond
+		c.StepInterval = engine.DefaultStepInterval
 	}
 	if c.TimerUnit <= 0 {
-		c.TimerUnit = 2 * time.Millisecond
+		c.TimerUnit = engine.DefaultTimerUnit
 	}
 }
 
-// Runtime drives a set of processes on live goroutines.
+// Runtime drives a set of processes on the live engine: one engine per
+// node, so a node's T2 and T3 bodies serialize with each other (as they
+// always did, under the old per-node mutex) while different nodes run
+// concurrently — on the SAN substrate a step blocks in quorum disk I/O,
+// and one node's slow quorum must not stall its peers' timers.
 type Runtime struct {
 	cfg   Config
 	nodes []*node
-	start time.Time
-
-	mu      sync.Mutex
-	started bool
-	stopped bool
 }
 
+// node adapts one Proc to the engine's machine contract. Step and OnTimer
+// bodies run only on the engine's scheduler goroutine; the published
+// leader estimate is the lock-free read path.
 type node struct {
-	rt   *Runtime
-	proc Proc
-
-	mu sync.Mutex // guards proc's local state across tasks
+	proc     Proc
+	eng      *engine.Live
+	interval vclock.Duration // StepInterval in ns
 
 	// leaderEst is the node's published leader estimate, re-published
 	// after every Step/OnTimer. Leader queries read it without touching
-	// mu, so high-rate oracle queries (the Fleet fast path) never contend
-	// with the algorithm's own tasks.
+	// the engine, so high-rate oracle queries (the Fleet fast path) never
+	// contend with the algorithm's own tasks.
 	leaderEst atomic.Int64
 	crashed   atomic.Bool
-
-	stop chan struct{}
-	wg   sync.WaitGroup
-	once sync.Once
 }
 
-// publish refreshes the node's lock-free leader estimate; called with mu
-// held, right after the proc took a step.
+// publish refreshes the node's lock-free leader estimate, right after the
+// proc took a step.
 func (n *node) publish() { n.leaderEst.Store(int64(n.proc.Leader())) }
+
+// Step implements engine.Machine (task T2).
+func (n *node) Step(now vclock.Time) engine.Hint {
+	n.proc.Step(now)
+	n.publish()
+	return engine.At(now + n.interval)
+}
+
+// OnTimer implements engine.TimerMachine (task T3).
+func (n *node) OnTimer(now vclock.Time) uint64 {
+	x := n.proc.OnTimer(now)
+	n.publish()
+	return x
+}
 
 // New builds a runtime over the given processes.
 func New(cfg Config, procs []Proc) (*Runtime, error) {
@@ -100,57 +113,54 @@ func New(cfg Config, procs []Proc) (*Runtime, error) {
 		return nil, fmt.Errorf("rt: need at least 2 processes, got %d", len(procs))
 	}
 	cfg.normalize()
-	r := &Runtime{cfg: cfg, start: time.Now()}
+	r := &Runtime{cfg: cfg}
 	for _, p := range procs {
-		n := &node{rt: r, proc: p, stop: make(chan struct{})}
+		n := &node{
+			proc:     p,
+			eng:      engine.NewLive(engine.LiveConfig{TimerUnit: cfg.TimerUnit}),
+			interval: int64(cfg.StepInterval),
+		}
 		n.leaderEst.Store(int64(p.Leader()))
+		// The first step lands one interval after Start, as the old
+		// per-node ticker did.
+		n.eng.Add(n, engine.FirstStepAt(int64(cfg.StepInterval)))
 		r.nodes = append(r.nodes, n)
 	}
 	return r, nil
 }
 
-// now returns nanoseconds since runtime start, the live vclock.Time.
-func (r *Runtime) now() vclock.Time { return int64(time.Since(r.start)) }
-
-// Start launches every node's task goroutines. It may be called once.
+// Start launches every node's engine. It may be called once.
 func (r *Runtime) Start() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.started {
-		return fmt.Errorf("rt: already started")
-	}
-	r.started = true
-	for _, n := range r.nodes {
-		n.run()
+	for i, n := range r.nodes {
+		if err := n.eng.Start(); err != nil {
+			for _, prev := range r.nodes[:i] {
+				prev.eng.Stop()
+			}
+			return err
+		}
 	}
 	return nil
 }
 
-// Stop crashes every node and joins all goroutines. Idempotent.
+// Stop crashes every node and joins all engines. Idempotent.
 func (r *Runtime) Stop() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.stopped {
-		return
-	}
-	r.stopped = true
 	for _, n := range r.nodes {
-		n.halt()
+		n.crashed.Store(true)
 	}
 	for _, n := range r.nodes {
-		n.wg.Wait()
+		n.eng.Stop()
 	}
 }
 
-// Crash stops process i's goroutines, simulating a crash-stop failure.
-// The node's registers keep their last values, as in the paper's model.
+// Crash stops process i permanently, simulating a crash-stop failure. The
+// node's registers keep their last values, as in the paper's model. When
+// Crash returns, no step of i is in flight and none will run again.
 func (r *Runtime) Crash(i int) error {
 	if i < 0 || i >= len(r.nodes) {
 		return fmt.Errorf("rt: no process %d", i)
 	}
-	n := r.nodes[i]
-	n.halt()
-	n.wg.Wait()
+	r.nodes[i].crashed.Store(true)
+	r.nodes[i].eng.Crash(0)
 	return nil
 }
 
@@ -218,54 +228,3 @@ func (r *Runtime) WaitForAgreementContext(ctx context.Context) (int, bool) {
 
 // N returns the number of processes.
 func (r *Runtime) N() int { return len(r.nodes) }
-
-func (n *node) run() {
-	// Task T2: the main loop.
-	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		ticker := time.NewTicker(n.rt.cfg.StepInterval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-n.stop:
-				return
-			case <-ticker.C:
-				n.mu.Lock()
-				n.proc.Step(n.rt.now())
-				n.publish()
-				n.mu.Unlock()
-			}
-		}
-	}()
-	// Task T3: the timer loop. The timer starts at value 1, as in the
-	// simulator.
-	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		timer := time.NewTimer(n.rt.cfg.TimerUnit)
-		defer timer.Stop()
-		for {
-			select {
-			case <-n.stop:
-				return
-			case <-timer.C:
-				n.mu.Lock()
-				x := n.proc.OnTimer(n.rt.now())
-				n.publish()
-				n.mu.Unlock()
-				if x == 0 {
-					return // timer-free variant: never re-arm
-				}
-				timer.Reset(time.Duration(x) * n.rt.cfg.TimerUnit)
-			}
-		}
-	}()
-}
-
-func (n *node) halt() {
-	n.once.Do(func() {
-		n.crashed.Store(true)
-		close(n.stop)
-	})
-}

@@ -186,6 +186,28 @@ func (c *Chase) Next(rng *rand.Rand, now vclock.Time) vclock.Duration {
 	return c.cur
 }
 
+// Clamp bounds another pacing's delays from time From on — the AWB1
+// enforcement shape: after tau_1 the designated correct process's
+// consecutive steps (and hence its consecutive critical-register
+// accesses, which happen within steps) are at most Delta apart. Before
+// From the inner pacing is passed through untouched.
+type Clamp struct {
+	P     Pacing
+	From  vclock.Time
+	Delta vclock.Duration
+}
+
+var _ Pacing = Clamp{}
+
+// Next implements Pacing.
+func (c Clamp) Next(rng *rand.Rand, now vclock.Time) vclock.Duration {
+	d := c.P.Next(rng, now)
+	if now >= c.From && d > c.Delta {
+		d = c.Delta
+	}
+	return d
+}
+
 // OwnRng wraps a pacing with its own random source, making the process's
 // delay sequence a pure function of its own seed: the k-th delay is the
 // k-th draw regardless of how runs interleave. Experiments that compare a

@@ -9,17 +9,22 @@
 // most delta ticks (AWB1), and (3) the timers of the other correct
 // processes are asymptotically well-behaved (AWB2, see package vclock).
 //
-// The scheduler serializes all process steps on the caller's goroutine, so
-// the SimMem registers are linearized in scheduler order; the seeded
+// Since the engine refactor the event loop itself lives in
+// internal/engine (the virtual-time Sim engine); World remains the
+// experiment-facing configuration layer: it translates a Config — the
+// AWB parameters, pacing adversaries, timer behaviors and crash schedule
+// — into engine machines, adds the observation sampler, and collects the
+// Result. All process steps still serialize on the caller's goroutine,
+// so the SimMem registers are linearized in scheduler order; the seeded
 // adversary (Pacing per process) chooses the interleaving. Crashes are
 // injected at configured times by permanently descheduling the process.
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
+	"omegasm/internal/engine"
 	"omegasm/internal/shmem"
 	"omegasm/internal/vclock"
 )
@@ -140,20 +145,16 @@ type Result struct {
 // Correct reports whether p did not crash in the run.
 func (r *Result) Correct(p int) bool { return !r.Crashed[p] }
 
-// World is one simulated run in progress.
+// World is one simulated run in progress: the experiment-facing
+// configuration over the virtual-time engine.
 type World struct {
 	cfg   Config
 	procs []Process
-	rng   *rand.Rand
-	now   vclock.Time
-	queue eventQueue
-	seq   uint64
+	sim   *engine.Sim
+	ids   []int // proc p's engine machine id
 
-	crashed  []bool
-	res      *Result
-	hooks    []Hook
-	stopped  bool
-	stopTime vclock.Time
+	res   *Result
+	hooks []Hook
 
 	aux       []Stepper
 	auxPacing []Pacing
@@ -187,11 +188,14 @@ func NewWorld(cfg Config, procs []Process, mem shmem.Mem) (*World, error) {
 	if len(procs) != cfg.N {
 		return nil, fmt.Errorf("sched: %d processes for n=%d", len(procs), cfg.N)
 	}
+	sim, err := engine.NewSim(engine.SimConfig{Seed: cfg.Seed, Horizon: cfg.Horizon})
+	if err != nil {
+		return nil, err
+	}
 	w := &World{
-		cfg:     cfg,
-		procs:   procs,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		crashed: make([]bool, cfg.N),
+		cfg:   cfg,
+		procs: procs,
+		sim:   sim,
 		res: &Result{
 			Crashed:      make([]bool, cfg.N),
 			CrashTime:    make([]vclock.Time, cfg.N),
@@ -203,7 +207,7 @@ func NewWorld(cfg Config, procs []Process, mem shmem.Mem) (*World, error) {
 		w.res.CrashTime[p] = -1
 	}
 	if c := mem.Census(); c != nil {
-		c.SetClock(func() int64 { return w.now })
+		c.SetClock(w.Now)
 	}
 	return w, nil
 }
@@ -223,154 +227,102 @@ func (w *World) AddAux(s Stepper, p Pacing) {
 }
 
 // Now returns the current virtual time.
-func (w *World) Now() vclock.Time { return w.now }
+func (w *World) Now() vclock.Time { return w.sim.Now() }
 
 // Stop ends the run after the current event; used by hooks that have seen
 // enough (e.g. stabilization detectors in benchmarks).
-func (w *World) Stop() {
-	if !w.stopped {
-		w.stopped = true
-		w.stopTime = w.now
-	}
-}
+func (w *World) Stop() { w.sim.Stop() }
 
 // Rng exposes the run's seeded randomness source (for hooks that perturb
 // the run deterministically).
-func (w *World) Rng() *rand.Rand { return w.rng }
+func (w *World) Rng() *rand.Rand { return w.sim.Rng() }
 
-type evKind int
-
-const (
-	evStep evKind = iota + 1
-	evTimer
-	evSample
-	evAux
-)
-
-type event struct {
-	at   vclock.Time
-	seq  uint64
-	kind evKind
-	pid  int
+// procMachine adapts one Process to the engine's machine contract: the
+// wake hint is always WakeNow — under the simulator the pacing adversary,
+// not the machine, decides when the next step is granted.
+type procMachine struct {
+	w   *World
+	pid int
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+func (m *procMachine) Step(now vclock.Time) engine.Hint {
+	m.w.procs[m.pid].Step(now)
+	return engine.Now()
 }
 
-func (w *World) push(at vclock.Time, kind evKind, pid int) {
-	w.seq++
-	heap.Push(&w.queue, event{at: at, seq: w.seq, kind: kind, pid: pid})
+func (m *procMachine) OnTimer(now vclock.Time) uint64 {
+	return m.w.procs[m.pid].OnTimer(now)
 }
 
-func (w *World) stepDelay(pid int) vclock.Duration {
-	d := w.cfg.Pacing[pid].Next(w.rng, w.now)
-	if d < 1 {
-		d = 1
-	}
-	// AWB1 enforcement: after tau_1 the designated process's consecutive
-	// steps — and hence its consecutive critical-register accesses, which
-	// happen within steps — are at most Delta apart.
-	if pid == w.cfg.AWBProc && w.now >= w.cfg.Tau1 && d > w.cfg.Delta {
-		d = w.cfg.Delta
-	}
-	return d
+// samplerMachine is the fixed-cadence observer.
+type samplerMachine struct{ w *World }
+
+func (m samplerMachine) Step(now vclock.Time) engine.Hint {
+	m.w.sample()
+	return engine.At(now + m.w.cfg.SampleEvery)
 }
 
-func (w *World) crashTimeOf(pid int) (vclock.Time, bool) {
-	t, ok := w.cfg.Crash[pid]
-	return t, ok
+// auxMachine adapts a Stepper.
+type auxMachine struct{ s Stepper }
+
+func (m auxMachine) Step(now vclock.Time) engine.Hint {
+	m.s.Step(now)
+	return engine.Now()
 }
 
 // Run executes the simulation until the horizon (or an early Stop) and
 // returns the result. Run may be called once.
 func (w *World) Run() *Result {
-	heap.Init(&w.queue)
+	sim := w.sim
+	w.ids = make([]int, w.cfg.N)
+	// Machines are added in a fixed order — each process (step then
+	// timer), the sampler, then the auxiliaries — so the seeded schedule
+	// is identical to the pre-engine event loop's. (Adding them here, not
+	// in NewWorld, keeps every rng draw inside Run, also as before.)
 	for p := 0; p < w.cfg.N; p++ {
-		w.push(w.stepDelay(p), evStep, p)
-		d := w.cfg.Timers[p].Expire(0, w.cfg.InitialTimeout)
-		w.push(d, evTimer, p)
+		pacing := w.cfg.Pacing[p]
+		if p == w.cfg.AWBProc {
+			pacing = Clamp{P: pacing, From: w.cfg.Tau1, Delta: w.cfg.Delta}
+		}
+		opts := []engine.SimOpt{
+			engine.WithPacing(pacing),
+			engine.WithTimer(w.cfg.Timers[p], w.cfg.InitialTimeout),
+		}
+		if ct, ok := w.cfg.Crash[p]; ok {
+			opts = append(opts, engine.WithCrashAt(ct))
+		}
+		w.ids[p] = sim.Add(&procMachine{w: w, pid: p}, opts...)
 	}
-	w.push(w.cfg.SampleEvery, evSample, -1)
+	sim.Add(samplerMachine{w: w}, engine.WithFirstWakeAt(w.cfg.SampleEvery))
 	for a := range w.aux {
-		w.push(w.auxPacing[a].Next(w.rng, 0), evAux, a)
+		sim.Add(auxMachine{s: w.aux[a]}, engine.WithPacing(w.auxPacing[a]))
 	}
 
-	for w.queue.Len() > 0 && !w.stopped {
-		e := heap.Pop(&w.queue).(event)
-		if e.at > w.cfg.Horizon {
-			break
-		}
-		w.now = e.at
-		switch e.kind {
-		case evSample:
-			w.sample()
-			w.push(w.now+w.cfg.SampleEvery, evSample, -1)
-		case evAux:
-			w.aux[e.pid].Step(w.now)
-			d := w.auxPacing[e.pid].Next(w.rng, w.now)
-			if d < 1 {
-				d = 1
-			}
-			w.push(w.now+d, evAux, e.pid)
-		case evStep, evTimer:
-			if w.crashed[e.pid] {
-				continue
-			}
-			if ct, ok := w.crashTimeOf(e.pid); ok && e.at >= ct {
-				w.crashed[e.pid] = true
-				w.res.Crashed[e.pid] = true
-				w.res.CrashTime[e.pid] = ct
-				continue
-			}
-			if e.kind == evStep {
-				w.procs[e.pid].Step(w.now)
-				w.res.Steps[e.pid]++
-				w.push(w.now+w.stepDelay(e.pid), evStep, e.pid)
-			} else {
-				x := w.procs[e.pid].OnTimer(w.now)
-				w.res.TimerFirings[e.pid]++
-				// x == 0 means "do not re-arm" (the timer-free variant of
-				// paper Section 3.5 drives its checks from task T2).
-				if x > 0 {
-					d := w.cfg.Timers[e.pid].Expire(w.now, x)
-					if d < 1 {
-						d = 1
-					}
-					w.push(w.now+d, evTimer, e.pid)
-				}
-			}
-		}
-	}
+	sim.Run()
+
 	// Final observation so callers always see the end state.
 	w.sample()
-	w.res.End = w.now
+	w.res.End = sim.Now()
+	for p := 0; p < w.cfg.N; p++ {
+		w.res.Steps[p] = sim.Steps(w.ids[p])
+		w.res.TimerFirings[p] = sim.TimerFirings(w.ids[p])
+		if sim.Crashed(w.ids[p]) {
+			w.res.Crashed[p] = true
+			w.res.CrashTime[p] = sim.CrashTime(w.ids[p])
+		}
+	}
 	return w.res
 }
 
 func (w *World) sample() {
-	s := Sample{T: w.now, Leaders: make([]int, w.cfg.N)}
+	now := w.Now()
+	s := Sample{T: now, Leaders: make([]int, w.cfg.N)}
 	for p := 0; p < w.cfg.N; p++ {
 		// A process that reached its crash time is reported crashed even
 		// if no event has collected it yet.
-		if ct, ok := w.crashTimeOf(p); (ok && w.now >= ct) || w.crashed[p] {
-			if ok && w.now >= ct && !w.crashed[p] {
-				w.crashed[p] = true
+		ct, scheduled := w.cfg.Crash[p]
+		if (scheduled && now >= ct) || w.sim.Crashed(w.ids[p]) {
+			if !w.res.Crashed[p] {
 				w.res.Crashed[p] = true
 				w.res.CrashTime[p] = ct
 			}

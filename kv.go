@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"omegasm/internal/consensus"
+	"omegasm/internal/engine"
 	"omegasm/internal/vclock"
 )
 
@@ -81,18 +83,109 @@ func KVStepBurst(n int) KVOption {
 // the SAN, any minority of disk crashes); after a leader crash the store
 // resumes as soon as the survivors re-elect. Reads are served from the
 // local applied state — sequential consistency, not linearizability.
+//
+// Replication is wake-driven: each replica is an engine machine that
+// parks when idle, is woken the moment a write is enqueued for it (Put
+// and Set notify the leader's machine), and keeps stepping back-to-back
+// while work is draining, so commit latency is CPU-bound instead of
+// poll-interval-bound and an idle store costs no stepping at all. The
+// KVStepInterval cadence remains as the fallback poll for the cases no
+// notification covers (a demoted replica waiting to drop or re-propose
+// its queue).
 type KV struct {
 	c        *Cluster
 	interval time.Duration
 	stores   []*consensus.KV
 
-	cancel context.CancelFunc
-	done   chan struct{}
+	eng     *engine.Live
+	ids     []int // engine machine id of each replica's driver
+	commits *broadcast
+}
+
+// broadcast is a reusable close-channel broadcast: waiters grab the
+// current channel and commit signals close it, waking every waiter at
+// once (the shape of Put's commit watch).
+type broadcast struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newBroadcast() *broadcast { return &broadcast{ch: make(chan struct{})} }
+
+func (b *broadcast) wait() <-chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ch
+}
+
+func (b *broadcast) signal() {
+	b.mu.Lock()
+	close(b.ch)
+	b.ch = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// kvMachine drives one replica under the engine's wake-hint contract.
+type kvMachine struct {
+	kv    *KV
+	idx   int
+	store *consensus.KV
+	burst int
+}
+
+// Step implements engine.Machine. The hint encodes the replica's state:
+// draining work wants the CPU back immediately, a replica with a queued
+// command but no leadership polls at the fallback cadence (leadership may
+// move to it, or the watcher may drop its queue), and an idle caught-up
+// replica parks until a write or a commit notification arrives.
+func (m *kvMachine) Step(now vclock.Time) engine.Hint {
+	kv := m.kv
+	if kv.c.Crashed(m.idx) {
+		return engine.Park()
+	}
+	leader, agreed := kv.c.AgreedLeader()
+	agreed = agreed && leader >= 0 && !kv.c.Crashed(leader)
+	// A replica that sees the cluster agreed on someone else sheds its own
+	// queue before stepping. The polling watcher below does the same once
+	// per cadence, but wake-driven replicas can take many bursts between
+	// watcher rounds, so the stale-queue window ("a demoted leader
+	// re-proposes old writes after newer ones when it regains leadership")
+	// must be closed at the replica itself: by the first step it takes
+	// under another replica's reign, the stale queue is gone. (Put
+	// re-submits the writes that still matter.)
+	if agreed && leader != m.idx {
+		m.store.DropPending()
+	}
+	newly, pending := m.store.StepBurst(now, m.burst)
+	if newly > 0 {
+		// Wake the other replicas to learn the new decisions — but only
+		// from the commit's origin (the agreed leader, or anyone during
+		// anarchy). A follower that merely learned entries would otherwise
+		// re-notify all peers per wave, turning one commit into ~n²
+		// notifications of already-informed machines.
+		if !agreed || leader == m.idx {
+			for i, id := range kv.ids {
+				if i != m.idx {
+					kv.eng.Notify(id)
+				}
+			}
+		}
+		// And any Put waiting for its command to land.
+		kv.commits.signal()
+		return engine.Now()
+	}
+	if pending > 0 {
+		if agreed && leader == m.idx && m.store.CommittedLen() < m.store.Capacity() {
+			return engine.Now()
+		}
+		return engine.At(now + int64(kv.interval))
+	}
+	return engine.Park()
 }
 
 // NewKV builds and starts the cluster's replicated key-value store: one
 // replica per process over a freshly allocated log on the cluster's
-// shared memory, plus a background driver stepping the live replicas.
+// shared memory, each driven as a wake-hinted machine of a live engine.
 // A cluster serves at most one KV in its lifetime (the log's register
 // namespace is claimed permanently); a second call errors. Call Close to
 // stop replication.
@@ -123,7 +216,12 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 	n := c.N()
 	log := consensus.NewLog(c.mem, n, set.slots)
 	stores := make([]*consensus.KV, n)
-	machines := make([]consensus.Steppable, n)
+	kv := &KV{
+		c:        c,
+		interval: set.interval,
+		eng:      engine.NewLive(engine.LiveConfig{}),
+		commits:  newBroadcast(),
+	}
 	for i := 0; i < n; i++ {
 		replica, err := consensus.NewReplica(log, i, c.oracle(i))
 		if err != nil {
@@ -134,56 +232,44 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 			return nil, fmt.Errorf("omegasm: kv replica %d: %w", i, err)
 		}
 		stores[i] = store
-		machines[i] = consensus.StepFunc(func(now vclock.Time) {
-			store.StepN(now, set.burst)
-		})
 	}
-	// The leadership watcher runs ahead of the replicas each tick: when
-	// the agreed leader changes, the queues stranded on the other replicas
-	// are dropped. Without this, a demoted-but-live leader would re-propose
-	// its stale queue whenever it regains leadership, committing old writes
-	// after newer ones; with it, a stale command can only still commit via
-	// ballot adoption in the first undecided slot — i.e. never after a
-	// newer command. (Writers that still care re-submit: Put retries.)
+	kv.stores = stores
+	for i := 0; i < n; i++ {
+		kv.ids = append(kv.ids, kv.eng.Add(&kvMachine{
+			kv: kv, idx: i, store: stores[i], burst: set.burst,
+		}))
+	}
+	// The leadership watcher polls at the fallback cadence: when the
+	// agreed leader changes, the queues stranded on the other replicas are
+	// dropped and the new leader's machine is woken (it may hold a queue a
+	// previous reign left behind). Without the drop, a demoted-but-live
+	// leader would re-propose its stale queue whenever it regains
+	// leadership, committing old writes after newer ones; with it, a stale
+	// command can only still commit via ballot adoption in the first
+	// undecided slot — i.e. never after a newer command. (Writers that
+	// still care re-submit: Put retries.)
 	lastLeader := -1
-	watcher := consensus.StepFunc(func(vclock.Time) {
-		l, ok := c.AgreedLeader()
-		if !ok || l < 0 || c.Crashed(l) {
-			return
-		}
-		if l != lastLeader {
+	kv.eng.Add(engine.MachineFunc(func(now vclock.Time) engine.Hint {
+		if l, ok := c.AgreedLeader(); ok && l >= 0 && !c.Crashed(l) && l != lastLeader {
 			for i, st := range stores {
 				if i != l {
 					st.DropPending()
 				}
 			}
 			lastLeader = l
+			kv.eng.Notify(kv.ids[l])
 		}
-	})
-	machines = append([]consensus.Steppable{watcher}, machines...)
-	live := func(i int) bool { return i == 0 || !c.Crashed(i-1) }
-
-	ctx, cancel := context.WithCancel(context.Background())
-	kv := &KV{
-		c:        c,
-		interval: set.interval,
-		stores:   stores,
-		cancel:   cancel,
-		done:     make(chan struct{}),
+		return engine.At(now + int64(set.interval))
+	}))
+	if err := kv.eng.Start(); err != nil {
+		return nil, err
 	}
-	go func() {
-		defer close(kv.done)
-		consensus.Drive(ctx, set.interval, live, machines)
-	}()
 	return kv, nil
 }
 
-// Close stops the replication driver. Reads keep answering from the
+// Close stops the replication engine. Reads keep answering from the
 // frozen applied state; writes stop committing. Idempotent.
-func (kv *KV) Close() {
-	kv.cancel()
-	<-kv.done
-}
+func (kv *KV) Close() { kv.eng.Stop() }
 
 // readStore picks the replica to answer reads: the agreed leader's (it
 // commits first, so it is the freshest), else the lowest-id live replica.
@@ -213,7 +299,11 @@ func (kv *KV) Set(key, val uint16) error {
 	if !ok || l < 0 || kv.c.Crashed(l) {
 		return ErrNoLeader
 	}
-	return kv.stores[l].Set(key, val)
+	if err := kv.stores[l].Set(key, val); err != nil {
+		return err
+	}
+	kv.eng.Notify(kv.ids[l]) // wake the parked leader: the write drains now
+	return nil
 }
 
 // Put replicates one write and returns once it is committed: it submits
@@ -225,6 +315,13 @@ func (kv *KV) Set(key, val uint16) error {
 // more than one slot; the store applies sets idempotently, so duplicates
 // only spend log capacity. Put returns ctx's error on cancellation and
 // ErrLogFull if the log fills before the command commits.
+//
+// Put is wake-driven end to end: the submit wakes the leader's parked
+// replica machine immediately, and the call sleeps on the engine's commit
+// broadcast rather than a poll loop, so the latency of an uncontended
+// write is the consensus round itself, not the driver cadence. The
+// fallback ticker only paces the retry path (leadership moved, log
+// pressure).
 func (kv *KV) Put(ctx context.Context, key, val uint16) error {
 	cmd := consensus.EncodeSet(key, val)
 	if cmd == consensus.NoValue {
@@ -240,6 +337,10 @@ func (kv *KV) Put(ctx context.Context, key, val uint16) error {
 	ticker := time.NewTicker(kv.interval)
 	defer ticker.Stop()
 	for {
+		// Grab the broadcast channel before scanning: a commit that lands
+		// after the scan closes this channel, so the wait below cannot
+		// miss it.
+		committed := kv.commits.wait()
 		for i, s := range kv.stores {
 			if !kv.c.Crashed(i) && s.CommittedContainsAfter(marks[i], cmd) {
 				return nil
@@ -249,15 +350,28 @@ func (kv *KV) Put(ctx context.Context, key, val uint16) error {
 		if st.CommittedLen() == st.Capacity() {
 			return ErrLogFull
 		}
-		if l, ok := kv.c.AgreedLeader(); ok && l >= 0 && !kv.c.Crashed(l) && l != submittedTo {
-			if err := kv.stores[l].Set(key, val); err != nil {
-				return err
+		if l, ok := kv.c.AgreedLeader(); ok && l >= 0 && !kv.c.Crashed(l) {
+			// Resubmit on an observed leader change, and also when the
+			// command vanished from the submitted replica's queue without
+			// committing: a leadership flap this loop never observed can
+			// have swept it away (every replica sheds its queue under
+			// another leader's reign). Re-check the commit watermark right
+			// before resubmitting — the command may have committed between
+			// the scan above and here, and a needless duplicate burns a
+			// log slot forever.
+			if (l != submittedTo || !kv.stores[l].PendingContains(cmd)) &&
+				!kv.stores[l].CommittedContainsAfter(marks[l], cmd) {
+				if err := kv.stores[l].Set(key, val); err != nil {
+					return err
+				}
+				submittedTo = l
 			}
-			submittedTo = l
+			kv.eng.Notify(kv.ids[l])
 		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
+		case <-committed:
 		case <-ticker.C:
 		}
 	}

@@ -203,6 +203,48 @@ func TestKVLogFull(t *testing.T) {
 	}
 }
 
+// TestKVPutWakesParkedReplicas is the wake-driven engine's latency
+// contract: with a pathologically slow fallback poll interval, a Put must
+// still commit promptly, because enqueueing the write notifies the
+// parked leader machine instead of waiting for the next tick. Under the
+// old polling driver this test would need ~interval per consensus
+// micro-step round and blow the deadline by orders of magnitude.
+func TestKVPutWakesParkedReplicas(t *testing.T) {
+	c := startCluster(t, fastOpts(3)...)
+	if _, ok := c.WaitForAgreement(10 * time.Second); !ok {
+		t.Fatal("no agreement")
+	}
+	const interval = time.Second
+	kv, err := omegasm.NewKV(c, omegasm.KVSlots(32), omegasm.KVStepInterval(interval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// A transient leadership flap can legitimately push one Put onto the
+	// slow retry path, so demand the majority be fast rather than all.
+	const puts = 5
+	fast := 0
+	for k := uint16(0); k < puts; k++ {
+		start := time.Now()
+		if err := kv.Put(ctx, k, k); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+		if time.Since(start) < interval/4 {
+			fast++
+		}
+	}
+	if fast < puts-1 {
+		t.Fatalf("only %d/%d Puts beat the %v poll interval: writes are not waking the parked leader", fast, puts, interval)
+	}
+	for k := uint16(0); k < puts; k++ {
+		if v, ok := kv.Get(k); !ok || v != k {
+			t.Errorf("Get(%d) = %d, %v", k, v, ok)
+		}
+	}
+}
+
 // TestKVCloseIdempotent checks Close twice and freezes the state.
 func TestKVCloseIdempotent(t *testing.T) {
 	c := startCluster(t, fastOpts(2)...)

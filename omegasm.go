@@ -184,10 +184,12 @@ type Cluster struct {
 
 	// arena is the lazily created one-shot consensus instance Propose
 	// drives; kvTaken marks the register namespace of the replicated log
-	// as claimed. Both under svcMu.
-	svcMu   sync.Mutex
-	arena   *proposeArena
-	kvTaken bool
+	// as claimed; svcStopped refuses new service engines after Stop. All
+	// under svcMu.
+	svcMu      sync.Mutex
+	arena      *proposeArena
+	kvTaken    bool
+	svcStopped bool
 }
 
 // New validates the options and builds a stopped Cluster; call Start to
@@ -248,8 +250,13 @@ func newCluster(s *settings) (*Cluster, error) {
 // Start launches the cluster's processes. It may be called once.
 func (c *Cluster) Start() error { return c.rt.Start() }
 
-// Stop halts every process and joins all goroutines. Idempotent.
-func (c *Cluster) Stop() { c.rt.Stop() }
+// Stop halts every process and joins all goroutines, including the
+// engines of lazily started services (the Propose arena). Idempotent. A
+// KV store's engine has its own lifecycle: call KV.Close.
+func (c *Cluster) Stop() {
+	c.rt.Stop()
+	c.stopServices()
+}
 
 // N returns the number of processes.
 func (c *Cluster) N() int { return c.rt.N() }

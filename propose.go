@@ -3,9 +3,12 @@ package omegasm
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"omegasm/internal/consensus"
+	"omegasm/internal/engine"
+	"omegasm/internal/vclock"
 )
 
 // arenaTag is the instance tag of the Propose arena's registers. Log
@@ -14,20 +17,84 @@ import (
 const arenaTag = -1
 
 // proposeArena is the cluster's lazily created one-shot consensus
-// instance: one proposer per process, all driven by whichever Propose
-// callers are currently blocked, with Omega injecting liveness (only the
-// process the oracle names leader advances ballots; safety never depends
-// on the oracle).
+// instance: one proposer per process, stepped by a machine of a live
+// engine (one poll-cadence machine regardless of how many Propose calls
+// are blocked), with Omega injecting liveness (only the process the
+// oracle names leader advances ballots; safety never depends on the
+// oracle). Blocked Propose callers sleep on the decision broadcast
+// instead of driving the steps themselves.
 type proposeArena struct {
 	props []*consensus.Proposer
+	eng   *engine.Live
+	id    int // the arena machine's engine id
+	done  *broadcast
 
-	// driving is true while one blocked caller acts as the arena's sole
-	// driver; the others only poll for the decision, so concurrent
-	// Propose calls never multiply the stepping work (each step is N
-	// register reads — real quorum I/O on the SAN).
-	driving bool
-	decided bool
-	value   uint32
+	// waiters counts the Propose calls currently blocked; the arena
+	// machine parks when it drops to zero (no caller, no stepping — as
+	// when the old caller-driven loop lost its last driver).
+	waiters atomic.Int64
+	// result is the packed decision: 1<<32 | value once decided.
+	result atomic.Uint64
+}
+
+// decided returns the arena's decision, if reached.
+func (a *proposeArena) decided() (uint32, bool) {
+	w := a.result.Load()
+	return uint32(w), w>>32 != 0
+}
+
+// arena lazily builds and starts the cluster's propose arena with v as
+// the fixed proposal.
+func (c *Cluster) arenaFor(v uint32) (*proposeArena, error) {
+	c.svcMu.Lock()
+	defer c.svcMu.Unlock()
+	if c.arena != nil {
+		return c.arena, nil
+	}
+	if c.svcStopped {
+		// A post-Stop Propose must not start an engine nobody will stop.
+		return nil, fmt.Errorf("omegasm: propose: cluster is stopped")
+	}
+	a := &proposeArena{
+		eng:  engine.NewLive(engine.LiveConfig{}),
+		done: newBroadcast(),
+	}
+	inst := consensus.NewInstance(c.mem, c.N(), arenaTag)
+	for i := 0; i < c.N(); i++ {
+		p, err := consensus.NewProposer(inst, i, v, c.oracle(i))
+		if err != nil {
+			return nil, fmt.Errorf("omegasm: propose: %w", err)
+		}
+		a.props = append(a.props, p)
+	}
+	// The arena machine steps every live proposer once per cadence; there
+	// is no external enqueue event to wake on (progress arrives with the
+	// election's convergence), so this is a poll by nature — but it only
+	// polls while a Propose call is blocked on it, and parks permanently
+	// once the decision is published.
+	interval := int64(c.stepInterval())
+	a.id = a.eng.Add(engine.MachineFunc(func(now vclock.Time) engine.Hint {
+		if a.waiters.Load() == 0 {
+			return engine.Park() // no caller: the next Propose notifies us
+		}
+		for i, p := range a.props {
+			if c.Crashed(i) {
+				continue
+			}
+			p.Step(now)
+			if val, ok := p.Decided(); ok {
+				a.result.Store(1<<32 | uint64(val))
+				a.done.signal()
+				return engine.Park()
+			}
+		}
+		return engine.At(now + interval)
+	}))
+	if err := a.eng.Start(); err != nil {
+		return nil, err
+	}
+	c.arena = a
+	return a, nil
 }
 
 // Propose runs one-shot consensus among the cluster's processes over the
@@ -46,66 +113,44 @@ type proposeArena struct {
 // decision can be reached during anarchy too (any majority-visible ballot
 // completes).
 func (c *Cluster) Propose(ctx context.Context, v uint32) (uint32, error) {
-	c.svcMu.Lock()
-	if c.arena == nil {
-		a := &proposeArena{}
-		inst := consensus.NewInstance(c.mem, c.N(), arenaTag)
-		for i := 0; i < c.N(); i++ {
-			p, err := consensus.NewProposer(inst, i, v, c.oracle(i))
-			if err != nil {
-				c.svcMu.Unlock()
-				return 0, fmt.Errorf("omegasm: propose: %w", err)
-			}
-			a.props = append(a.props, p)
-		}
-		c.arena = a
+	if v == consensus.NoValue {
+		return 0, fmt.Errorf("omegasm: propose: input %#x is the reserved NoValue sentinel", v)
 	}
-	a := c.arena
-	c.svcMu.Unlock()
-
-	// One caller drives; the rest poll. If the driver leaves (its context
-	// died), the next polling caller takes over on its tick.
-	iDrive := false
-	defer func() {
-		if iDrive {
-			c.svcMu.Lock()
-			a.driving = false
-			c.svcMu.Unlock()
-		}
-	}()
+	a, err := c.arenaFor(v)
+	if err != nil {
+		return 0, err
+	}
+	// Register as a waiter and wake the (possibly parked) arena machine;
+	// it keeps stepping only while someone is blocked here.
+	a.waiters.Add(1)
+	defer a.waiters.Add(-1)
+	a.eng.Notify(a.id)
+	// The fallback ticker guards the decided-during-wait race windows; the
+	// broadcast is the fast path.
 	ticker := time.NewTicker(c.stepInterval())
 	defer ticker.Stop()
 	for {
-		c.svcMu.Lock()
-		if a.decided {
-			v := a.value
-			c.svcMu.Unlock()
-			return v, nil
-		}
-		if iDrive || !a.driving {
-			if !iDrive {
-				iDrive, a.driving = true, true
-			}
-			for i, p := range a.props {
-				if c.Crashed(i) {
-					continue
-				}
-				p.Step(0)
-				if val, ok := p.Decided(); ok {
-					a.decided, a.value = true, val
-					break
-				}
-			}
-		}
-		decided, val := a.decided, a.value
-		c.svcMu.Unlock()
-		if decided {
+		ch := a.done.wait()
+		if val, ok := a.decided(); ok {
 			return val, nil
 		}
 		select {
 		case <-ctx.Done():
 			return 0, fmt.Errorf("omegasm: propose: %w", ctx.Err())
+		case <-ch:
 		case <-ticker.C:
 		}
+	}
+}
+
+// stopServices tears down the service-layer engines the cluster started
+// lazily (the propose arena) and refuses new ones; called by Stop.
+func (c *Cluster) stopServices() {
+	c.svcMu.Lock()
+	c.svcStopped = true
+	a := c.arena
+	c.svcMu.Unlock()
+	if a != nil {
+		a.eng.Stop()
 	}
 }

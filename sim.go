@@ -1,0 +1,418 @@
+package omegasm
+
+import (
+	"fmt"
+	"sort"
+
+	"omegasm/internal/consensus"
+	"omegasm/internal/core"
+	"omegasm/internal/engine"
+	"omegasm/internal/sched"
+	"omegasm/internal/shmem"
+	"omegasm/internal/vclock"
+)
+
+// SimWrite is one workload write of a simulated run: at virtual time At
+// the workload submits Set(Key, Val) to whichever process the oracle
+// then names leader, and keeps resubmitting across leadership changes
+// until the command commits — the deterministic analogue of KV.Put.
+type SimWrite struct {
+	// At is the submission time in virtual ticks.
+	At int64
+	// Key and Val form the command; the pair (0xFFFF, 0xFFFF) is reserved.
+	Key, Val uint16
+}
+
+// SimCommit is one committed command of a simulated run, in log order.
+type SimCommit struct {
+	Key, Val uint16
+}
+
+// SimKVConfig parameterizes one deterministic run of the full stack —
+// Omega election, Disk-Paxos replicated log, key-value store — under the
+// virtual-time engine. Identical configurations (including Seed) produce
+// byte-identical results: the seeded adversary chooses the interleaving,
+// crashes fire at exact virtual times, and every machine steps on one
+// goroutine. This is the run class the paper quantifies over, opened up
+// for the whole consensus stack instead of just the election layer.
+type SimKVConfig struct {
+	// N is the number of processes (>= 2).
+	N int
+	// Seed drives the run's scheduling adversary.
+	Seed int64
+	// Horizon ends the run, in virtual ticks; default 500_000.
+	Horizon int64
+	// Algorithm selects the election algorithm; default WriteEfficient.
+	Algorithm Algorithm
+	// Slots is the replicated log's capacity; default 256.
+	Slots int
+	// Crashes maps pid -> virtual crash time: the process (its election
+	// tasks and its replica) is permanently descheduled at that time, the
+	// paper's crash-stop failure. At least one process must survive to
+	// satisfy AWB1; crashing every process is rejected.
+	Crashes map[int]int64
+	// Writes is the workload. Entries may be in any order; they are
+	// submitted at their At times.
+	Writes []SimWrite
+}
+
+// SimKVResult is the outcome of a simulated run. For a fixed SimKVConfig
+// every field is reproducible run over run.
+type SimKVResult struct {
+	// Committed is the replicated log's committed history in log order,
+	// taken from the longest committed prefix among live replicas (all
+	// live replicas' prefixes agree; this is consensus's safety). Retries
+	// across failovers may commit a command more than once; the store
+	// applies duplicates idempotently.
+	Committed []SimCommit
+	// State is the key-value state after applying Committed in order.
+	State map[uint16]uint16
+	// Delivered counts workload writes whose commit was confirmed before
+	// the horizon.
+	Delivered int
+	// Crashed[p] reports whether process p crashed during the run.
+	Crashed []bool
+	// Leaders[p] is process p's final leader estimate, -1 if p crashed.
+	Leaders []int
+	// End is the virtual time at which the run ended.
+	End int64
+}
+
+func (cfg *SimKVConfig) normalize() error {
+	if cfg.N < 2 {
+		return fmt.Errorf("omegasm: sim needs at least 2 processes, got %d", cfg.N)
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 500_000
+	}
+	if cfg.Horizon < 0 {
+		return fmt.Errorf("omegasm: sim horizon must be positive, got %d", cfg.Horizon)
+	}
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = WriteEfficient
+	}
+	if !cfg.Algorithm.valid() {
+		return fmt.Errorf("omegasm: unknown algorithm %v", cfg.Algorithm)
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 256
+	}
+	if cfg.Slots < 1 {
+		return fmt.Errorf("omegasm: sim needs at least 1 log slot, got %d", cfg.Slots)
+	}
+	for p, t := range cfg.Crashes {
+		if p < 0 || p >= cfg.N {
+			return fmt.Errorf("omegasm: crash schedule names process %d of %d", p, cfg.N)
+		}
+		if t < 0 {
+			return fmt.Errorf("omegasm: crash time %d for process %d is negative", t, p)
+		}
+	}
+	if len(cfg.Crashes) >= cfg.N {
+		return fmt.Errorf("omegasm: crash schedule kills all %d processes; at least one must survive", cfg.N)
+	}
+	for _, wr := range cfg.Writes {
+		if consensus.EncodeSet(wr.Key, wr.Val) == consensus.NoValue {
+			return fmt.Errorf("omegasm: key/value pair (0x%04x, 0x%04x) is reserved", wr.Key, wr.Val)
+		}
+		if wr.At < 0 {
+			return fmt.Errorf("omegasm: write time %d is negative", wr.At)
+		}
+	}
+	return nil
+}
+
+// simRun holds one run's machinery while the engine executes it.
+type simRun struct {
+	cfg    SimKVConfig
+	sim    *engine.Sim
+	procs  []core.Proc
+	kvs    []*consensus.KV
+	ids    []int // replica machine ids, for wake notifications
+	writer *simWriter
+}
+
+// live reports whether process p is scheduled to be alive at time now.
+// The crash schedule, not engine state, decides: a process whose crash
+// time has passed is dead even if no event has collected it yet —
+// matching how the sampler always treated crashes.
+func (r *simRun) live(p int, now vclock.Time) bool {
+	ct, ok := r.cfg.Crashes[p]
+	return !ok || now < ct
+}
+
+// agreedLeader returns the common leader estimate of all live processes,
+// or (-1, false) while they disagree (the live AgreedLeader, evaluated
+// deterministically inside the simulation).
+func (r *simRun) agreedLeader(now vclock.Time) (int, bool) {
+	leader := -1
+	for p := range r.procs {
+		if !r.live(p, now) {
+			continue
+		}
+		l := r.procs[p].Leader()
+		if leader == -1 {
+			leader = l
+		} else if leader != l {
+			return -1, false
+		}
+	}
+	if leader == -1 || !r.live(leader, now) {
+		return -1, false
+	}
+	return leader, true
+}
+
+// simProcMachine runs one election process's T2/T3 tasks.
+type simProcMachine struct{ p core.Proc }
+
+func (m simProcMachine) Step(now vclock.Time) engine.Hint {
+	m.p.Step(now)
+	return engine.Now()
+}
+
+func (m simProcMachine) OnTimer(now vclock.Time) uint64 { return m.p.OnTimer(now) }
+
+// simReplicaMachine drives one replica's store under the adversary's
+// pacing. Unlike the live engine there is no burst draining: the pacing
+// is the asynchrony model, so each wake is one micro-step.
+type simReplicaMachine struct {
+	r   *simRun
+	idx int
+}
+
+func (m simReplicaMachine) Step(now vclock.Time) engine.Hint {
+	// Shed the queue under another replica's reign before stepping, as the
+	// live kvMachine does (the watcher alone leaves a window in which a
+	// re-elected stale queue could commit old writes after newer ones).
+	if l, ok := m.r.agreedLeader(now); ok && l != m.idx {
+		m.r.kvs[m.idx].DropPending()
+	}
+	m.r.kvs[m.idx].Step(now)
+	return engine.Now()
+}
+
+// simWatcher is the leadership watcher: on a change of agreed leader it
+// drops the queues stranded on the other replicas (see NewKV for why)
+// and wakes the new leader's replica.
+type simWatcher struct {
+	r          *simRun
+	lastLeader int
+}
+
+func (w *simWatcher) Step(now vclock.Time) engine.Hint {
+	if l, ok := w.r.agreedLeader(now); ok && l != w.lastLeader {
+		for i, st := range w.r.kvs {
+			if i != l {
+				st.DropPending()
+			}
+		}
+		w.lastLeader = l
+		w.r.sim.Notify(w.r.ids[l])
+	}
+	return engine.At(now + 16)
+}
+
+// simActiveWrite is one workload write in flight.
+type simActiveWrite struct {
+	write       SimWrite
+	cmd         uint32
+	marks       []int // committed watermark per replica at activation
+	submittedTo int
+	done        bool
+}
+
+// simWriter is the deterministic Put loop: it activates writes at their
+// times, submits to the agreed leader, confirms commits against
+// activation watermarks, and resubmits when leadership moves.
+type simWriter struct {
+	r         *simRun
+	writes    []SimWrite // sorted by At
+	next      int
+	active    []*simActiveWrite
+	delivered int
+}
+
+func (w *simWriter) Step(now vclock.Time) engine.Hint {
+	// Confirm commits first, so a write activated this tick cannot match
+	// a historical entry.
+	for _, aw := range w.active {
+		if aw.done {
+			continue
+		}
+		for i, kv := range w.r.kvs {
+			if w.r.live(i, now) && kv.CommittedContainsAfter(aw.marks[i], aw.cmd) {
+				aw.done = true
+				w.delivered++
+				break
+			}
+		}
+	}
+	for w.next < len(w.writes) && w.writes[w.next].At <= now {
+		wr := w.writes[w.next]
+		aw := &simActiveWrite{write: wr, cmd: consensus.EncodeSet(wr.Key, wr.Val), submittedTo: -1}
+		for _, kv := range w.r.kvs {
+			aw.marks = append(aw.marks, kv.CommittedLen())
+		}
+		w.active = append(w.active, aw)
+		w.next++
+	}
+	outstanding := false
+	if l, ok := w.r.agreedLeader(now); ok {
+		for _, aw := range w.active {
+			if aw.done {
+				continue
+			}
+			outstanding = true
+			// Resubmit on a leader change, and when a flap this machine
+			// never observed swept the command from the leader's queue.
+			if aw.submittedTo != l || !w.r.kvs[l].PendingContains(aw.cmd) {
+				if err := w.r.kvs[l].Set(aw.write.Key, aw.write.Val); err == nil {
+					aw.submittedTo = l
+					w.r.sim.Notify(w.r.ids[l])
+				}
+			}
+		}
+	} else {
+		for _, aw := range w.active {
+			if !aw.done {
+				outstanding = true
+			}
+		}
+	}
+	if !outstanding && w.next == len(w.writes) {
+		return engine.Park() // all delivered; nothing will reactivate us
+	}
+	wake := now + 8
+	if !outstanding && w.next < len(w.writes) && w.writes[w.next].At > wake {
+		wake = w.writes[w.next].At
+	}
+	return engine.At(wake)
+}
+
+// SimKV executes one deterministic run of the full consensus/KV stack
+// under the virtual-time engine and returns its reproducible outcome:
+// same config (and seed), same committed history, byte for byte. Use it
+// to script failover scenarios — crash the leader mid-workload, replay
+// with another seed, diff the histories — that the live runtime can only
+// approximate statistically.
+func SimKV(cfg SimKVConfig) (*SimKVResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	n := cfg.N
+	sim, err := engine.NewSim(engine.SimConfig{Seed: cfg.Seed, Horizon: cfg.Horizon})
+	if err != nil {
+		return nil, err
+	}
+	mem := shmem.NewSimMem(n)
+	run := &simRun{cfg: cfg, sim: sim}
+
+	run.procs = make([]core.Proc, n)
+	switch cfg.Algorithm {
+	case WriteEfficient:
+		for i, p := range core.BuildAlgo1(mem, n) {
+			run.procs[i] = p
+		}
+	case Bounded:
+		for i, p := range core.BuildAlgo2(mem, n) {
+			run.procs[i] = p
+		}
+	case NWnR:
+		for i, p := range core.BuildNWNR(mem, n) {
+			run.procs[i] = p
+		}
+	case TimerFree:
+		for i, p := range core.BuildTimerFree(mem, n) {
+			run.procs[i] = p
+		}
+	}
+
+	// AWB1 needs one correct process with eventually bounded step gaps:
+	// designate the lowest pid the crash schedule spares.
+	awb := -1
+	for p := 0; p < n; p++ {
+		if _, crashes := cfg.Crashes[p]; !crashes {
+			awb = p
+			break
+		}
+	}
+	for p := 0; p < n; p++ {
+		// The non-designated processes face the canonical asynchronous
+		// adversary — usually prompt, occasionally stalled for hundreds of
+		// ticks — so the run genuinely exercises asynchrony; the AWB1
+		// process gets the same adversary with its delays clamped to delta,
+		// which is what makes the designation (and the election's liveness)
+		// real rather than vacuous.
+		var pacing engine.Pacing = sched.HeavyTail{Min: 1, Max: 8, StallP: 0.01, StallMax: 256}
+		if p == awb {
+			pacing = sched.Clamp{P: pacing, Delta: 8}
+		}
+		opts := []engine.SimOpt{
+			engine.WithPacing(pacing),
+			engine.WithTimer(vclock.Exact{Scale: 4, Floor: 1}, 1),
+		}
+		if ct, ok := cfg.Crashes[p]; ok {
+			opts = append(opts, engine.WithCrashAt(ct))
+		}
+		sim.Add(simProcMachine{p: run.procs[p]}, opts...)
+	}
+
+	log := consensus.NewLog(mem, n, cfg.Slots)
+	for i := 0; i < n; i++ {
+		i := i
+		replica, err := consensus.NewReplica(log, i, func() int { return run.procs[i].Leader() })
+		if err != nil {
+			return nil, fmt.Errorf("omegasm: sim replica %d: %w", i, err)
+		}
+		kv, err := consensus.NewKV(replica)
+		if err != nil {
+			return nil, fmt.Errorf("omegasm: sim replica %d: %w", i, err)
+		}
+		run.kvs = append(run.kvs, kv)
+		opts := []engine.SimOpt{engine.WithPacing(sched.Uniform{Min: 1, Max: 8})}
+		if ct, ok := cfg.Crashes[i]; ok {
+			opts = append(opts, engine.WithCrashAt(ct))
+		}
+		run.ids = append(run.ids, sim.Add(simReplicaMachine{r: run, idx: i}, opts...))
+	}
+
+	sim.Add(&simWatcher{r: run, lastLeader: -1}, engine.WithFirstWakeAt(16))
+
+	writes := append([]SimWrite(nil), cfg.Writes...)
+	sort.SliceStable(writes, func(i, j int) bool { return writes[i].At < writes[j].At })
+	run.writer = &simWriter{r: run, writes: writes}
+	first := vclock.Time(1)
+	if len(writes) > 0 && writes[0].At > first {
+		first = writes[0].At
+	}
+	sim.Add(run.writer, engine.WithFirstWakeAt(first))
+
+	end := sim.Run()
+
+	res := &SimKVResult{
+		State:     make(map[uint16]uint16),
+		Delivered: run.writer.delivered,
+		Crashed:   make([]bool, n),
+		Leaders:   make([]int, n),
+		End:       end,
+	}
+	var longest []uint32
+	for p := 0; p < n; p++ {
+		if !run.live(p, end) {
+			res.Crashed[p] = true
+			res.Leaders[p] = -1
+			continue
+		}
+		res.Leaders[p] = run.procs[p].Leader()
+		if c := run.kvs[p].Committed(); len(c) > len(longest) {
+			longest = c
+		}
+	}
+	for _, cmd := range longest {
+		k, v := consensus.DecodeSet(cmd)
+		res.Committed = append(res.Committed, SimCommit{Key: k, Val: v})
+		res.State[k] = v
+	}
+	return res, nil
+}

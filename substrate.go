@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"omegasm/internal/engine"
 	"omegasm/internal/san"
 	"omegasm/internal/shmem"
 )
@@ -48,7 +49,9 @@ type atomicSubstrate struct{}
 func (atomicSubstrate) Name() string { return "atomic" }
 
 func (atomicSubstrate) pacing() (time.Duration, time.Duration) {
-	return 200 * time.Microsecond, 2 * time.Millisecond
+	// The shared engine defaults: one source for the live engine, the
+	// Drive shim and the options layer, so they cannot drift.
+	return engine.DefaultStepInterval, engine.DefaultTimerUnit
 }
 
 func (atomicSubstrate) open(n int, instrument bool) (*openedMem, error) {
@@ -119,7 +122,7 @@ type sanSubstrate struct{ cfg SANConfig }
 func (s sanSubstrate) Name() string { return "san" }
 
 func (s sanSubstrate) pacing() (time.Duration, time.Duration) {
-	return 2 * time.Millisecond, 25 * time.Millisecond
+	return engine.DefaultSANStepInterval, engine.DefaultSANTimerUnit
 }
 
 func (s sanSubstrate) open(n int, instrument bool) (*openedMem, error) {
