@@ -344,6 +344,56 @@ func BenchmarkKVThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedKVThroughput measures the live sharded store end to
+// end: b.N committed writes pushed through MultiPut groups (so per-shard
+// proposal batching engages), at 1 and 4 shards. One op is one committed
+// write. These are wall-clock numbers and therefore bounded by the host's
+// core count — the architecture's parallel capacity is measured exactly
+// by the virtual-time scaling benchmark (`omegabench -bench`,
+// BENCH_shardedkv_scaling.json).
+func BenchmarkShardedKVThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run("shards="+stats.I(shards), func(b *testing.B) {
+			s, err := omegasm.NewShardedKV(
+				omegasm.WithShards(shards),
+				omegasm.WithN(3),
+				omegasm.WithStepInterval(100*time.Microsecond),
+				omegasm.WithTimerUnit(time.Millisecond),
+				// Worst-case skew plus failover duplicates must still fit
+				// one shard's log: with batching each slot holds many.
+				omegasm.WithShardSlots(b.N/8+2048),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.Start(); err != nil {
+				b.Fatal(err)
+			}
+			if !s.WaitForAgreement(20 * time.Second) {
+				b.Fatal("shards did not elect")
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			defer cancel()
+			const group = 128
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				n := min(group, b.N-done)
+				entries := make([]omegasm.Entry, n)
+				for j := range entries {
+					k := done + j
+					entries[j] = omegasm.Entry{Key: uint16(k % 1024), Val: uint16(k)}
+				}
+				if err := s.MultiPut(ctx, entries...); err != nil {
+					b.Fatal(err)
+				}
+				done += n
+			}
+		})
+	}
+}
+
 // BenchmarkKVWakeDriven shows the polling-vs-wake gap of the engine
 // refactor on the same pinned-leader consensus stack: "polling" is the
 // pre-engine pipeline (consensus.Drive ticking every machine each

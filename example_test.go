@@ -1,11 +1,55 @@
 package omegasm_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"omegasm"
 )
+
+// Example_shardedKV runs the whole stack as a service: a hash-partitioned
+// key-value store of two consensus-backed shards, written through the
+// batching MultiPut fan-out and read back through MultiGet.
+func Example_shardedKV() {
+	skv, err := omegasm.NewShardedKV(
+		omegasm.WithShards(2),
+		omegasm.WithN(3),
+		omegasm.WithBatchSize(8),
+	)
+	if err != nil {
+		fmt.Println("config error:", err)
+		return
+	}
+	if err := skv.Start(); err != nil {
+		fmt.Println("start error:", err)
+		return
+	}
+	defer skv.Close()
+	if !skv.WaitForAgreement(10 * time.Second) {
+		fmt.Println("no agreement")
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	entries := make([]omegasm.Entry, 16)
+	for i := range entries {
+		entries[i] = omegasm.Entry{Key: uint16(i), Val: uint16(100 + i)}
+	}
+	if err := skv.MultiPut(ctx, entries...); err != nil {
+		fmt.Println("multiput error:", err)
+		return
+	}
+	vals, ok := skv.MultiGet(3, 11)
+	fmt.Println("committed keys:", skv.Len())
+	fmt.Println("key 3:", vals[0], ok[0])
+	fmt.Println("key 11:", vals[1], ok[1])
+	// Output:
+	// committed keys: 16
+	// key 3: 103 true
+	// key 11: 111 true
+}
 
 // ExampleCluster shows the basic lifecycle: start a cluster, wait for the
 // oracle outputs to converge, and shut down.

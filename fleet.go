@@ -99,6 +99,16 @@ func NewFleet(opts ...Option) (*Fleet, error) {
 	if err := fs.apply(opts); err != nil {
 		return nil, err
 	}
+	if err := fs.rejectShardedOptions(); err != nil {
+		return nil, err
+	}
+	return newFleetFromSettings(fs, opts)
+}
+
+// newFleetFromSettings builds a Fleet from resolved fleet-level settings,
+// re-resolving the option list per member (shared by NewFleet and
+// NewShardedKV, which fixes the cluster count to its shard count first).
+func newFleetFromSettings(fs *settings, opts []Option) (*Fleet, error) {
 	if fs.refreshInterval <= 0 {
 		fs.refreshInterval = engine.DefaultStepInterval
 	}
@@ -214,8 +224,16 @@ func (f *Fleet) Leader(i int) (leader int, ok bool) {
 
 // Crash crashes process p of cluster i, and refreshes that cluster's view
 // immediately so queries stop naming a dead leader as soon as the
-// survivors re-elect.
+// survivors re-elect. It errors on an out-of-range cluster or process
+// index, and on a fleet that has already been stopped (whose processes
+// are all down; crashing one would be meaningless).
 func (f *Fleet) Crash(i, p int) error {
+	f.mu.Lock()
+	stopped := f.stopped
+	f.mu.Unlock()
+	if stopped {
+		return fmt.Errorf("omegasm: fleet already stopped")
+	}
 	if i < 0 || i >= len(f.clusters) {
 		return fmt.Errorf("omegasm: no cluster %d", i)
 	}
@@ -232,7 +250,10 @@ func (f *Fleet) Crash(i, p int) error {
 // timeout bounds total wall time: the slowest cluster never eats into the
 // others' budget, and a late cluster is detected within one timeout no
 // matter how many siblings settle first. It returns the per-cluster
-// leaders and whether all clusters agreed in time.
+// leaders and whether all clusters agreed in time. WaitForAgreement is
+// safe to race with Stop: a stopped fleet's processes are all down and
+// report no agreement, so the call returns ok == false within the
+// timeout instead of blocking forever.
 func (f *Fleet) WaitForAgreement(timeout time.Duration) ([]int, bool) {
 	leaders := make([]int, len(f.clusters))
 	agreed := make([]bool, len(f.clusters))

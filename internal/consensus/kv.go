@@ -49,14 +49,37 @@ func NewKV(replica *Replica) (*KV, error) {
 	}, nil
 }
 
-// Set queues a write for replication. It is applied once committed.
+// Set queues a write for replication. It is applied once committed. On a
+// batched log the whole key 0xFFFF row is reserved for batch descriptors;
+// on an unbatched log only the pair (0xFFFF, 0xFFFF) is (the NoValue
+// sentinel).
 func (kv *KV) Set(key, val uint16) error {
-	if EncodeSet(key, val) == NoValue {
+	if IsReserved(EncodeSet(key, val), kv.replica.log.Batched()) {
 		return fmt.Errorf("consensus: key/value pair (0x%04x, 0x%04x) is reserved", key, val)
 	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	kv.replica.Submit(EncodeSet(key, val))
+	return nil
+}
+
+// SetAll queues several writes for replication under one lock
+// acquisition, rejecting the whole batch (queueing nothing) if any pair
+// is reserved. On a batched log the queued run is what a leader packs
+// into batch proposals, so submitting related writes together is the
+// group-commit fast path.
+func (kv *KV) SetAll(pairs ...[2]uint16) error {
+	batched := kv.replica.log.Batched()
+	for _, p := range pairs {
+		if IsReserved(EncodeSet(p[0], p[1]), batched) {
+			return fmt.Errorf("consensus: key/value pair (0x%04x, 0x%04x) is reserved", p[0], p[1])
+		}
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	for _, p := range pairs {
+		kv.replica.Submit(EncodeSet(p[0], p[1]))
+	}
 	return nil
 }
 
@@ -114,22 +137,6 @@ func (kv *KV) StepBurst(now vclock.Time, n int) (newlyCommitted, pending int) {
 	return len(committed) - before, len(kv.replica.pending)
 }
 
-// PendingContains reports whether cmd is still in the replica's
-// submitted-but-uncommitted queue. A writer uses it to detect that a
-// leadership change swept its command away (DropPending) so it must
-// resubmit, even when the leader it originally submitted to is the
-// agreed leader again.
-func (kv *KV) PendingContains(cmd uint32) bool {
-	kv.mu.Lock()
-	defer kv.mu.Unlock()
-	for _, c := range kv.replica.pending {
-		if c == cmd {
-			return true
-		}
-	}
-	return false
-}
-
 // Committed returns a copy of the replica's committed prefix, in log
 // order.
 func (kv *KV) Committed() []uint32 {
@@ -145,9 +152,72 @@ func (kv *KV) CommittedLen() int {
 	return len(kv.replica.committed)
 }
 
-// Capacity returns the total number of log slots.
+// CommittedSince returns a copy of the committed commands from index from
+// on (clamped to the committed range). Writers that watch many commands
+// at once scan each appended region exactly once by advancing their
+// watermark past what CommittedSince returned.
+func (kv *KV) CommittedSince(from int) []uint32 {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	committed := kv.replica.committed
+	if from < 0 {
+		from = 0
+	}
+	if from > len(committed) {
+		from = len(committed)
+	}
+	return append([]uint32(nil), committed[from:]...)
+}
+
+// Capacity returns the total number of log slots. On a batched log one
+// slot can decide up to MaxBatch commands, so the committed command
+// stream may grow past Capacity; use LogFull to detect exhaustion.
 func (kv *KV) Capacity() int {
 	return len(kv.replica.log.Slots)
+}
+
+// SlotsDecided returns how many log slots this replica has learned.
+func (kv *KV) SlotsDecided() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.replica.SlotsDecided()
+}
+
+// LogFull reports whether every log slot has been decided and learned at
+// this replica, i.e. whether the store can accept no further writes. On
+// an unbatched log this is CommittedLen() == Capacity(); on a batched log
+// slots, not committed commands, are the exhaustible resource.
+func (kv *KV) LogFull() bool {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.replica.LogFull()
+}
+
+// Batched reports whether the underlying log packs multi-command batches
+// into consensus slots.
+func (kv *KV) Batched() bool { return kv.replica.log.Batched() }
+
+// MaxBatch returns the largest number of commands one consensus slot of
+// the underlying log may decide (1 on an unbatched log).
+func (kv *KV) MaxBatch() int { return kv.replica.log.MaxBatch() }
+
+// PendingLen returns how many submitted commands are still waiting in the
+// replica's queue (neither committed nor dropped).
+func (kv *KV) PendingLen() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return len(kv.replica.pending)
+}
+
+// DropGeneration returns how many times this replica's pending queue has
+// been swept by DropPending. Writers cache it at submit time: a changed
+// generation means a leadership flap may have dropped their command even
+// if the same replica is leader again, so they must re-check and
+// resubmit. One atomic-free comparison replaces a queue scan.
+func (kv *KV) DropGeneration() uint64 {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.replica.dropGen
 }
 
 // CommittedContainsAfter reports whether cmd appears in the replica's
@@ -180,7 +250,10 @@ func (kv *KV) DropPending() int {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	n := len(kv.replica.pending)
-	kv.replica.pending = nil
+	if n > 0 {
+		kv.replica.pending = nil
+		kv.replica.dropGen++
+	}
 	return n
 }
 

@@ -7,37 +7,190 @@ import (
 	"omegasm/internal/vclock"
 )
 
-// Log is a replicated log: a fixed array of consensus instances over one
-// shared memory. Slot s's decision is the s-th command of every replica's
-// committed sequence — the classic Omega/Paxos state-machine-replication
-// construction the paper's introduction motivates.
-type Log struct {
-	N     int
-	Slots []*Instance
+// Register class names of the batch areas (the per-slot consensus classes
+// are in consensus.go).
+const (
+	ClassBatchHdr  = "BHDR"
+	ClassBatchData = "BDAT"
+)
+
+// MaxBatchProcs is the largest process count a batched log supports: a
+// batch descriptor packs the publishing process id into four bits.
+const MaxBatchProcs = 16
+
+// Batch descriptors live in the top row of the 32-bit command space:
+// commands whose high 16 bits are all ones. A descriptor names a batch
+// publication — (pid, seq) — rather than carrying a command itself, so
+// one consensus slot can decide many commands at once: the proposer
+// publishes the batch contents into its single-writer batch area first,
+// then runs consensus on the 32-bit descriptor, exactly the
+// pointer-to-value indirection Disk Paxos uses for large proposals. On a
+// batched log the top row is therefore reserved: Submit must not be given
+// plain commands with all-ones high bits (KV.Set enforces this by
+// rejecting key 0xFFFF).
+const batchDescMark = uint32(0xFFFF0000)
+
+// encodeBatchDesc packs a batch publication identity into a descriptor
+// command: 16 mark bits, 4 process-id bits, 12 sequence bits.
+func encodeBatchDesc(pid, seq int) uint32 {
+	return batchDescMark | uint32(pid)<<12 | uint32(seq)
 }
 
-// NewLog allocates slots consensus instances for n processes in mem.
+// decodeBatchDesc unpacks a descriptor command.
+func decodeBatchDesc(cmd uint32) (pid, seq int) {
+	return int(cmd >> 12 & 0xF), int(cmd & 0xFFF)
+}
+
+// isBatchDesc reports whether cmd is a batch descriptor. NoValue also has
+// all-ones high bits, but it is never decided (Submit and NewProposer
+// both reject it), so a decided command in the top row is a descriptor.
+func isBatchDesc(cmd uint32) bool { return cmd&batchDescMark == batchDescMark }
+
+// IsReserved reports whether cmd may not be submitted to a batched log:
+// the all-ones top row of the command space is claimed by batch
+// descriptors (and the NoValue sentinel). On an unbatched log only
+// NoValue itself is reserved.
+func IsReserved(cmd uint32, batched bool) bool {
+	if batched {
+		return cmd&batchDescMark == batchDescMark
+	}
+	return cmd == NoValue
+}
+
+// packBatchHdr packs a publication's extent — its first data-word offset
+// and its command count — into the publisher's header register.
+func packBatchHdr(start, count int) uint64 {
+	return uint64(start)<<32 | uint64(uint32(count))
+}
+
+func unpackBatchHdr(w uint64) (start, count int) {
+	return int(w >> 32), int(uint32(w))
+}
+
+// Log is a replicated log: a fixed array of consensus instances over one
+// shared memory. Slot s's decision is the s-th decided value of every
+// replica's slot sequence — the classic Omega/Paxos
+// state-machine-replication construction the paper's introduction
+// motivates.
+//
+// A log built with NewBatchLog additionally carries per-process batch
+// areas, and a slot's decided value may then be a batch descriptor that
+// expands to up to MaxBatch commands, so the committed command stream can
+// be longer than the number of decided slots.
+type Log struct {
+	// N is the number of replica processes.
+	N int
+	// Slots holds one consensus instance per log position.
+	Slots []*Instance
+
+	// maxBatch is the largest number of commands one slot may decide
+	// (1: plain log, no batch areas allocated).
+	maxBatch int
+	// hdr[p][seq] is process p's header register for its seq-th batch
+	// publication; data[p][w] the w-th word of its batch data area. Both
+	// are single-writer (owned by p) and written only before the
+	// publication's descriptor is proposed, so their contents are
+	// immutable by the time any reader can learn the descriptor.
+	hdr  [][]shmem.Reg
+	data [][]shmem.Reg
+}
+
+// NewLog allocates slots consensus instances for n processes in mem. The
+// log is unbatched: every slot decides exactly one command.
 func NewLog(mem shmem.Mem, n, slots int) *Log {
-	l := &Log{N: n, Slots: make([]*Instance, slots)}
-	for s := range l.Slots {
-		l.Slots[s] = NewInstance(mem, n, s)
+	l, err := NewBatchLog(mem, n, slots, 1)
+	if err != nil {
+		// Unreachable: maxBatch 1 skips every batch validation.
+		panic(err)
 	}
 	return l
 }
 
+// NewBatchLog allocates a replicated log whose slots may decide batches
+// of up to maxBatch commands. maxBatch 1 is exactly NewLog. For
+// maxBatch > 1 the log reserves the all-ones top row of the command space
+// for batch descriptors (so 16-bit key/value commands lose key 0xFFFF)
+// and supports at most MaxBatchProcs processes. Each process gets a
+// header area of min(slots, 4094) publications — the descriptor's
+// 12-bit sequence space, kept clear of the NoValue sentinel — and a data
+// area sized so every one of those publications can carry a full
+// maxBatch commands (two per 64-bit word): a stable leader can therefore
+// batch at full width for the whole log. Leadership churn can still burn
+// publications whose slot another proposer wins; a proposer that
+// exhausts its areas falls back to plain single-command proposals, so
+// batching degrades, never wedges.
+func NewBatchLog(mem shmem.Mem, n, slots, maxBatch int) (*Log, error) {
+	if maxBatch < 1 {
+		return nil, fmt.Errorf("consensus: batch size must be at least 1, got %d", maxBatch)
+	}
+	if maxBatch > 1 && n > MaxBatchProcs {
+		return nil, fmt.Errorf("consensus: batched log supports at most %d processes, got %d", MaxBatchProcs, n)
+	}
+	l := &Log{N: n, Slots: make([]*Instance, slots), maxBatch: maxBatch}
+	for s := range l.Slots {
+		l.Slots[s] = NewInstance(mem, n, s)
+	}
+	if maxBatch > 1 {
+		// 4094, not 4096: descriptor seq is 12 bits, and (pid 15, seq
+		// 0xFFF) would collide with the NoValue sentinel. 4094 keeps a
+		// symmetric margin below both.
+		hdrCap := slots
+		if hdrCap > 4094 {
+			hdrCap = 4094
+		}
+		dataCap := hdrCap * ((maxBatch + 1) / 2)
+		l.hdr = make([][]shmem.Reg, n)
+		l.data = make([][]shmem.Reg, n)
+		for p := 0; p < n; p++ {
+			l.hdr[p] = make([]shmem.Reg, hdrCap)
+			for s := range l.hdr[p] {
+				l.hdr[p][s] = mem.Word(p, ClassBatchHdr, p, s)
+			}
+			l.data[p] = make([]shmem.Reg, dataCap)
+			for w := range l.data[p] {
+				l.data[p][w] = mem.Word(p, ClassBatchData, p, w)
+			}
+		}
+	}
+	return l, nil
+}
+
+// Batched reports whether slots of this log may decide multi-command
+// batches.
+func (l *Log) Batched() bool { return l.maxBatch > 1 }
+
+// MaxBatch returns the largest number of commands one slot may decide.
+func (l *Log) MaxBatch() int { return l.maxBatch }
+
 // Replica is one process's view of the replicated log. It learns decided
 // slots in order, and — while the Omega oracle names it leader — proposes
-// its oldest pending command for the first undecided slot.
+// for the first undecided slot: its oldest pending command, or, on a
+// batched log with two or more pending commands, a freshly published
+// batch of up to MaxBatch of them.
 type Replica struct {
 	log   *Log
 	id    int
 	omega func() int
 
-	committed []uint32
-	pending   []uint32
+	// committed is the flattened command stream: batch descriptors are
+	// resolved at learn time, so committed never contains descriptors and
+	// may be longer than slotsDecided on a batched log.
+	committed    []uint32
+	slotsDecided int
+	pending      []uint32
+	// dropGen counts DropPending calls, so writers can detect a queue
+	// sweep they never observed with one comparison.
+	dropGen uint64
 
 	prop     *Proposer
 	propSlot int
+
+	// nextSeq and dataOff track the replica's batch areas: the next free
+	// publication slot and data word. Publications are never reused — a
+	// proposed descriptor may commit long after the proposer moved on
+	// (ballot adoption), so the area behind it must stay immutable.
+	nextSeq int
+	dataOff int
 }
 
 // NewReplica creates replica id over log with the given leader oracle.
@@ -50,22 +203,45 @@ func NewReplica(log *Log, id int, omega func() int) (*Replica, error) {
 
 // Submit queues a command for replication. Commands of different replicas
 // should be distinct values (e.g. tag the replica id into the value);
-// duplicate values are committed once per slot that decides them.
+// duplicate values are committed once per slot that decides them. On a
+// batched log, commands in the reserved descriptor row (IsReserved) must
+// not be submitted.
 func (r *Replica) Submit(cmd uint32) { r.pending = append(r.pending, cmd) }
 
-// Committed returns the replica's committed prefix (shared across all
-// replicas by consensus slot agreement).
+// Committed returns the replica's committed command stream in log order
+// (shared across all replicas by consensus slot agreement), with batch
+// slots flattened into their constituent commands.
 func (r *Replica) Committed() []uint32 {
 	return append([]uint32(nil), r.committed...)
 }
 
+// CommittedLen returns the length of the committed command stream without
+// copying it.
+func (r *Replica) CommittedLen() int { return len(r.committed) }
+
+// SlotsDecided returns how many log slots this replica has learned. On an
+// unbatched log this equals CommittedLen; on a batched log the committed
+// stream can be up to MaxBatch times longer.
+func (r *Replica) SlotsDecided() int { return r.slotsDecided }
+
+// LogFull reports whether every slot of the log has been decided and
+// learned by this replica: no further commands can commit through it.
+func (r *Replica) LogFull() bool { return r.slotsDecided >= len(r.log.Slots) }
+
 // Pending returns the number of commands still waiting for commit.
 func (r *Replica) Pending() int { return len(r.pending) }
 
+// DropGeneration returns how many times this replica's pending queue has
+// been dropped (DropPending). A writer that cached the generation at
+// submit time can detect an unobserved leadership flap — and therefore
+// the loss of its queued command — with one comparison instead of
+// scanning the queue.
+func (r *Replica) DropGeneration() uint64 { return r.dropGen }
+
 // Step advances the replica: learn the next slot if decided, otherwise
-// propose the oldest pending command when leader.
+// propose for it when leader — the oldest pending command, or a batch.
 func (r *Replica) Step(now vclock.Time) {
-	slot := len(r.committed)
+	slot := r.slotsDecided
 	if slot >= len(r.log.Slots) {
 		return // log full
 	}
@@ -73,7 +249,7 @@ func (r *Replica) Step(now vclock.Time) {
 	// Learn: any replica's decision register settles the slot.
 	for i := 0; i < r.log.N; i++ {
 		if v, ok := unpackDec(inst.Dec[i].Read(r.id)); ok {
-			r.commit(v)
+			r.commitSlot(v)
 			return
 		}
 	}
@@ -81,7 +257,7 @@ func (r *Replica) Step(now vclock.Time) {
 		return
 	}
 	if r.prop == nil || r.propSlot != slot {
-		p, err := NewProposer(inst, r.id, r.pending[0], r.omega)
+		p, err := NewProposer(inst, r.id, r.proposal(), r.omega)
 		if err != nil {
 			// Only reachable with a NoValue command, which Submit's
 			// contract excludes; drop it rather than wedge the log.
@@ -92,15 +268,89 @@ func (r *Replica) Step(now vclock.Time) {
 	}
 	r.prop.Step(now)
 	if v, ok := r.prop.Decided(); ok {
-		r.commit(v)
+		r.commitSlot(v)
 	}
 }
 
-func (r *Replica) commit(v uint32) {
-	slot := len(r.committed)
-	r.committed = append(r.committed, v)
-	if len(r.pending) > 0 && r.pending[0] == v {
-		r.pending = r.pending[1:]
+// proposal picks what to run consensus on for the next slot: the oldest
+// pending command, or — when the log is batched, at least two commands
+// are pending and the batch areas have room — a freshly published batch
+// descriptor covering up to MaxBatch of them.
+func (r *Replica) proposal() uint32 {
+	k := len(r.pending)
+	if k > r.log.maxBatch {
+		k = r.log.maxBatch
+	}
+	if k < 2 {
+		return r.pending[0]
+	}
+	desc, ok := r.publishBatch(r.pending[:k])
+	if !ok {
+		return r.pending[0]
+	}
+	return desc
+}
+
+// publishBatch writes cmds into the replica's batch area and returns the
+// descriptor naming the publication. The data words are written before
+// the header, and publishBatch returns before the descriptor is proposed,
+// so by the time any replica can learn the descriptor the publication is
+// complete and immutable (single-writer registers, linearizable
+// substrate). ok is false when the header or data area is exhausted; the
+// caller then proposes a plain command instead.
+func (r *Replica) publishBatch(cmds []uint32) (desc uint32, ok bool) {
+	words := (len(cmds) + 1) / 2
+	if r.nextSeq >= len(r.log.hdr[r.id]) || r.dataOff+words > len(r.log.data[r.id]) {
+		return 0, false
+	}
+	for w := 0; w < words; w++ {
+		word := uint64(cmds[2*w])
+		if 2*w+1 < len(cmds) {
+			word |= uint64(cmds[2*w+1]) << 32
+		}
+		r.log.data[r.id][r.dataOff+w].Write(r.id, word)
+	}
+	r.log.hdr[r.id][r.nextSeq].Write(r.id, packBatchHdr(r.dataOff, len(cmds)))
+	desc = encodeBatchDesc(r.id, r.nextSeq)
+	r.nextSeq++
+	r.dataOff += words
+	return desc, true
+}
+
+// resolve expands a decided slot value into its command sequence: a plain
+// command is itself, a batch descriptor is read back from the publisher's
+// batch area. The publication was completed before the descriptor could
+// be proposed, so every replica resolves the same descriptor to the same
+// commands.
+func (r *Replica) resolve(v uint32) []uint32 {
+	if !r.log.Batched() || !isBatchDesc(v) {
+		return []uint32{v}
+	}
+	pid, seq := decodeBatchDesc(v)
+	start, count := unpackBatchHdr(r.log.hdr[pid][seq].Read(r.id))
+	cmds := make([]uint32, 0, count)
+	for w := start; len(cmds) < count; w++ {
+		word := r.log.data[pid][w].Read(r.id)
+		cmds = append(cmds, uint32(word))
+		if len(cmds) < count {
+			cmds = append(cmds, uint32(word>>32))
+		}
+	}
+	return cmds
+}
+
+// commitSlot records slot r.slotsDecided as decided with value v,
+// appending its resolved commands to the committed stream and popping the
+// matching prefix of the pending queue (the decided commands, when they
+// are this replica's own proposal).
+func (r *Replica) commitSlot(v uint32) {
+	slot := r.slotsDecided
+	r.slotsDecided++
+	for _, c := range r.resolve(v) {
+		r.committed = append(r.committed, c)
+		if len(r.pending) > 0 && r.pending[0] == c {
+			r.pending = r.pending[1:]
+		}
 	}
 	if r.propSlot == slot {
 		r.prop, r.propSlot = nil, -1

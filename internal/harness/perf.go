@@ -83,6 +83,34 @@ type EngineWakeupPoint struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// ShardedKVScalingPoint is one data point of the sharded-store scaling
+// benchmark: S independent consensus-backed shards under a closed-loop
+// saturation workload, batched vs unbatched proposals. The measurement
+// runs under the deterministic virtual-time engine (mode
+// "sim-virtual-time", one virtual tick = 1us), where every machine owns
+// a virtual processor — so the numbers quantify the architecture's
+// parallel capacity exactly and reproducibly, independent of how many
+// host cores the benchmark machine happens to have. Live-host numbers
+// for the same stack are in BenchmarkShardedKVThroughput.
+type ShardedKVScalingPoint struct {
+	Shards        int    `json:"shards"`
+	ProcsPerShard int    `json:"procs_per_shard"`
+	BatchSize     int    `json:"batch_size"`
+	Mode          string `json:"mode"`
+	Substrate     string `json:"substrate"`
+	// CommittedCommands is the aggregate committed-command count over the
+	// horizon; SlotsUsed the consensus slots they consumed; AvgBatch
+	// their ratio (the measured batching factor).
+	CommittedCommands int     `json:"committed_commands"`
+	SlotsUsed         int     `json:"slots_used"`
+	AvgBatch          float64 `json:"avg_batch"`
+	// CommitsPerSec is CommittedCommands per virtual second.
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// SpeedupVsOneShard is this point's CommitsPerSec over the
+	// same-batch-size single-shard point's.
+	SpeedupVsOneShard float64 `json:"speedup_vs_one_shard"`
+}
+
 // BenchReport is the envelope of a BENCH_*.json file.
 type BenchReport struct {
 	// Name identifies the benchmark ("census_contention", ...).

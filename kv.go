@@ -29,6 +29,7 @@ type kvSettings struct {
 	slots    int
 	interval time.Duration
 	burst    int
+	batch    int
 }
 
 // KVSlots sets the replicated log's capacity in commands (default 1024).
@@ -70,6 +71,32 @@ func KVStepBurst(n int) KVOption {
 		s.burst = n
 		return nil
 	}
+}
+
+// KVBatch sets how many queued writes one consensus slot may commit
+// (default 1: batching off). With n > 1 the leader packs up to n pending
+// commands into a single batch publication and runs one Disk-Paxos round
+// on a 32-bit descriptor naming it, amortizing the consensus round — and
+// its quorum I/O on the SAN — across the whole batch. The price is one
+// reserved key: a batched log claims the key 0xFFFF row of the command
+// space for descriptors, so Set/Put reject key 0xFFFF entirely (an
+// unbatched store only rejects the (0xFFFF, 0xFFFF) pair). Batching also
+// caps the cluster at 16 processes (descriptor pids are four bits).
+func KVBatch(n int) KVOption {
+	return func(s *kvSettings) error {
+		if n < 1 {
+			return fmt.Errorf("omegasm: KV batch size must be at least 1, got %d", n)
+		}
+		s.batch = n
+		return nil
+	}
+}
+
+// Entry is one key/value write of a PutAll or MultiPut call.
+type Entry struct {
+	// Key and Val form the command. Key 0xFFFF is reserved on batched
+	// stores; the pair (0xFFFF, 0xFFFF) is reserved everywhere.
+	Key, Val uint16
 }
 
 // KV is a replicated key-value store served by the cluster: the full
@@ -175,7 +202,7 @@ func (m *kvMachine) Step(now vclock.Time) engine.Hint {
 		return engine.Now()
 	}
 	if pending > 0 {
-		if agreed && leader == m.idx && m.store.CommittedLen() < m.store.Capacity() {
+		if agreed && leader == m.idx && !m.store.LogFull() {
 			return engine.Now()
 		}
 		return engine.At(now + int64(kv.interval))
@@ -193,7 +220,7 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 	if c == nil {
 		return nil, fmt.Errorf("omegasm: nil cluster")
 	}
-	set := &kvSettings{slots: 1024, interval: c.stepInterval(), burst: 8}
+	set := &kvSettings{slots: 1024, interval: c.stepInterval(), burst: 8, batch: 1}
 	if c.DiskCount() > 0 {
 		set.burst = 2 // SAN steps cost quorum I/O; idle bursts are not free
 	}
@@ -205,6 +232,10 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 			return nil, err
 		}
 	}
+	if set.batch > 1 && c.N() > consensus.MaxBatchProcs {
+		return nil, fmt.Errorf("omegasm: KV batching supports at most %d processes, got %d",
+			consensus.MaxBatchProcs, c.N())
+	}
 	c.svcMu.Lock()
 	if c.kvTaken {
 		c.svcMu.Unlock()
@@ -214,7 +245,10 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 	c.svcMu.Unlock()
 
 	n := c.N()
-	log := consensus.NewLog(c.mem, n, set.slots)
+	log, err := consensus.NewBatchLog(c.mem, n, set.slots, set.batch)
+	if err != nil {
+		return nil, fmt.Errorf("omegasm: %w", err)
+	}
 	stores := make([]*consensus.KV, n)
 	kv := &KV{
 		c:        c,
@@ -241,8 +275,10 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 	}
 	// The leadership watcher polls at the fallback cadence: when the
 	// agreed leader changes, the queues stranded on the other replicas are
-	// dropped and the new leader's machine is woken (it may hold a queue a
-	// previous reign left behind). Without the drop, a demoted-but-live
+	// dropped and every machine is woken — the new leader may hold a queue
+	// a previous reign left behind, and parked followers may sit on
+	// unlearned slots the dead leader decided (nothing else would re-step
+	// them until the next write). Without the drop, a demoted-but-live
 	// leader would re-propose its stale queue whenever it regains
 	// leadership, committing old writes after newer ones; with it, a stale
 	// command can only still commit via ballot adoption in the first
@@ -257,7 +293,9 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 				}
 			}
 			lastLeader = l
-			kv.eng.Notify(kv.ids[l])
+			for _, id := range kv.ids {
+				kv.eng.Notify(id)
+			}
 		}
 		return engine.At(now + int64(set.interval))
 	}))
@@ -272,32 +310,46 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 func (kv *KV) Close() { kv.eng.Stop() }
 
 // readStore picks the replica to answer reads: the agreed leader's (it
-// commits first, so it is the freshest), else the lowest-id live replica.
+// commits first, so it is the freshest), else the live replica with the
+// longest committed prefix — during anarchy (typically right after a
+// leader crash) the survivors lag the dead leader by whatever they have
+// not yet learned, and the freshest one minimizes the staleness window
+// until the next election catches everyone up.
 func (kv *KV) readStore() *consensus.KV {
 	if l, ok := kv.c.AgreedLeader(); ok && l >= 0 && !kv.c.Crashed(l) {
 		return kv.stores[l]
 	}
+	best := kv.stores[0]
+	bestLen := -1
 	for i, s := range kv.stores {
 		if !kv.c.Crashed(i) {
-			return s
+			if n := s.CommittedLen(); n > bestLen {
+				best, bestLen = s, n
+			}
 		}
 	}
-	return kv.stores[0]
+	return best
 }
 
-// Set queues a write on the current leader's replica and returns without
-// waiting for commit. It errors with ErrNoLeader during anarchy periods
-// and ErrLogFull once the log is exhausted. A write queued on a leader
-// that crashes before committing it is lost — use Put for an
-// acknowledged write that retries across leader changes.
+// Set queues one write on the current leader's replica and returns
+// without waiting for commit — fire and forget. It errors with
+// ErrNoLeader during anarchy periods (no agreed live leader to route to)
+// and ErrLogFull once the leader has learned every log slot decided;
+// reserved pairs (see Entry) error synchronously. Set never retries: a
+// nil return means the write was queued, not committed, and the write is
+// silently lost if the leader crashes — or is merely demoted — before
+// committing it, because a replica sheds its uncommitted queue the moment
+// it observes another leader's reign. Set is the async fast path for
+// workloads that tolerate loss and check progress via Applied; everything
+// else should use Put or PutAll, which block until commit and retry
+// across leadership changes.
 func (kv *KV) Set(key, val uint16) error {
-	st := kv.readStore()
-	if st.CommittedLen() == st.Capacity() {
-		return ErrLogFull
-	}
 	l, ok := kv.c.AgreedLeader()
 	if !ok || l < 0 || kv.c.Crashed(l) {
 		return ErrNoLeader
+	}
+	if kv.stores[l].LogFull() {
+		return ErrLogFull
 	}
 	if err := kv.stores[l].Set(key, val); err != nil {
 		return err
@@ -306,15 +358,9 @@ func (kv *KV) Set(key, val uint16) error {
 	return nil
 }
 
-// Put replicates one write and returns once it is committed: it submits
-// to the current leader, watches the log entries appended after the call
-// began (a watermark per replica, so an identical historical write never
-// counts as this call's success), and resubmits if leadership moves
-// before the command lands (a leadership change takes the old leader's
-// uncommitted queue with it). Re-submission can commit the command into
-// more than one slot; the store applies sets idempotently, so duplicates
-// only spend log capacity. Put returns ctx's error on cancellation and
-// ErrLogFull if the log fills before the command commits.
+// Put replicates one write and returns once it is committed. It is
+// PutAll with a single entry; see PutAll for the full retry and error
+// semantics.
 //
 // Put is wake-driven end to end: the submit wakes the leader's parked
 // replica machine immediately, and the call sleeps on the engine's commit
@@ -323,17 +369,70 @@ func (kv *KV) Set(key, val uint16) error {
 // fallback ticker only paces the retry path (leadership moved, log
 // pressure).
 func (kv *KV) Put(ctx context.Context, key, val uint16) error {
-	cmd := consensus.EncodeSet(key, val)
-	if cmd == consensus.NoValue {
-		return fmt.Errorf("omegasm: key/value pair (0x%04x, 0x%04x) is reserved", key, val)
+	return kv.PutAll(ctx, Entry{Key: key, Val: val})
+}
+
+// PutAll replicates a group of writes and returns once every one of them
+// is committed. All entries are submitted to the current leader at once,
+// so on a batched store (KVBatch) they are packed into as few consensus
+// slots as the batch size allows — the group-commit fast path that
+// amortizes one Disk-Paxos round across the group. Entries are committed
+// in submission order when the group lands in one reign; duplicate
+// entries are deduplicated (a Set is idempotent).
+//
+// The call watches the log entries appended after it began (a watermark
+// per replica, so an identical historical write never counts as this
+// call's success) and resubmits the not-yet-committed remainder if
+// leadership moves — or a leadership flap sweeps the leader's queue —
+// before everything lands. Re-submission can commit an entry into more
+// than one slot; the store applies sets idempotently, so duplicates only
+// spend log capacity. PutAll returns ctx's error on cancellation, the
+// reserved-pair error synchronously (committing nothing), and ErrLogFull
+// if the log fills before the whole group commits.
+func (kv *KV) PutAll(ctx context.Context, entries ...Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	batched := kv.stores[0].Batched()
+	// remaining holds the deduplicated commands still waiting for commit,
+	// in submission order (resubmissions preserve it).
+	remaining := make([]uint32, 0, len(entries))
+	seen := make(map[uint32]bool, len(entries))
+	for _, e := range entries {
+		cmd := consensus.EncodeSet(e.Key, e.Val)
+		if consensus.IsReserved(cmd, batched) {
+			return fmt.Errorf("omegasm: key/value pair (0x%04x, 0x%04x) is reserved", e.Key, e.Val)
+		}
+		if !seen[cmd] {
+			seen[cmd] = true
+			remaining = append(remaining, cmd)
+		}
 	}
 	// Commit watermarks: only entries a replica appends from here on can
-	// acknowledge this call.
+	// acknowledge this call. Each appended region is scanned exactly once
+	// (the watermark advances past it), so a long-lived call stays
+	// O(new commits), not O(log).
 	marks := make([]int, len(kv.stores))
 	for i, s := range kv.stores {
 		marks[i] = s.CommittedLen()
 	}
+	confirm := func(i int) {
+		suffix := kv.stores[i].CommittedSince(marks[i])
+		marks[i] += len(suffix)
+		for _, c := range suffix {
+			if seen[c] {
+				delete(seen, c)
+				for j, r := range remaining {
+					if r == c {
+						remaining = append(remaining[:j], remaining[j+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
 	submittedTo := -1
+	var submitGen uint64
 	ticker := time.NewTicker(kv.interval)
 	defer ticker.Stop()
 	for {
@@ -341,30 +440,40 @@ func (kv *KV) Put(ctx context.Context, key, val uint16) error {
 		// after the scan closes this channel, so the wait below cannot
 		// miss it.
 		committed := kv.commits.wait()
-		for i, s := range kv.stores {
-			if !kv.c.Crashed(i) && s.CommittedContainsAfter(marks[i], cmd) {
-				return nil
+		for i := range kv.stores {
+			if !kv.c.Crashed(i) {
+				confirm(i)
 			}
 		}
-		st := kv.readStore()
-		if st.CommittedLen() == st.Capacity() {
+		if len(remaining) == 0 {
+			return nil
+		}
+		if kv.readStore().LogFull() {
 			return ErrLogFull
 		}
 		if l, ok := kv.c.AgreedLeader(); ok && l >= 0 && !kv.c.Crashed(l) {
 			// Resubmit on an observed leader change, and also when the
-			// command vanished from the submitted replica's queue without
-			// committing: a leadership flap this loop never observed can
-			// have swept it away (every replica sheds its queue under
-			// another leader's reign). Re-check the commit watermark right
-			// before resubmitting — the command may have committed between
-			// the scan above and here, and a needless duplicate burns a
-			// log slot forever.
-			if (l != submittedTo || !kv.stores[l].PendingContains(cmd)) &&
-				!kv.stores[l].CommittedContainsAfter(marks[l], cmd) {
-				if err := kv.stores[l].Set(key, val); err != nil {
+			// leader's queue was swept since we submitted (its drop
+			// generation moved): a leadership flap this loop never observed
+			// takes the queued remainder with it. Re-scan the leader's
+			// commits right before resubmitting — an entry may have
+			// committed between the scan above and here, and a needless
+			// duplicate burns log capacity forever.
+			gen := kv.stores[l].DropGeneration()
+			if l != submittedTo || gen != submitGen {
+				confirm(l)
+				if len(remaining) == 0 {
+					return nil
+				}
+				pairs := make([][2]uint16, len(remaining))
+				for j, c := range remaining {
+					k, v := consensus.DecodeSet(c)
+					pairs[j] = [2]uint16{k, v}
+				}
+				if err := kv.stores[l].SetAll(pairs...); err != nil {
 					return err
 				}
-				submittedTo = l
+				submittedTo, submitGen = l, gen
 			}
 			kv.eng.Notify(kv.ids[l])
 		}
@@ -394,5 +503,20 @@ func (kv *KV) Applied() int { return kv.readStore().Applied() }
 // Snapshot returns a copy of the applied state.
 func (kv *KV) Snapshot() map[uint16]uint16 { return kv.readStore().Snapshot() }
 
-// Capacity returns the replicated log's total slot count.
+// Capacity returns the replicated log's total slot count. On a batched
+// store one slot commits up to BatchSize writes, so the write capacity in
+// commands is up to Capacity() * BatchSize().
 func (kv *KV) Capacity() int { return kv.stores[0].Capacity() }
+
+// SlotsUsed returns how many consensus slots the reading replica has
+// learned. On a batched store this lags Applied by the batching factor —
+// the ratio Applied()/SlotsUsed() is the measured average batch size.
+func (kv *KV) SlotsUsed() int { return kv.readStore().SlotsDecided() }
+
+// Batched reports whether the store packs multi-command batches into
+// consensus slots (KVBatch with a size above 1).
+func (kv *KV) Batched() bool { return kv.stores[0].Batched() }
+
+// BatchSize returns how many queued writes one consensus slot may commit
+// (1: batching off).
+func (kv *KV) BatchSize() int { return kv.stores[0].MaxBatch() }

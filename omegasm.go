@@ -1,79 +1,3 @@
-// Package omegasm is the public API of the reproduction of "Electing an
-// Eventual Leader in an Asynchronous Shared Memory System" (Fernández,
-// Jiménez, Raynal; DSN 2007): eventual leader (Omega) election for
-// crash-prone processes that communicate only through shared memory, plus
-// the Paxos-style replication stack the paper motivates on top of it.
-//
-// The Omega abstraction provides each process a Leader() query whose
-// answers eventually converge, at every live process, on the identity of
-// one process that has not crashed. Omega is the weakest failure detector
-// for solving consensus in this model; it is the election core of
-// Paxos-style replication.
-//
-// A Cluster is built from functional options and runs one process per
-// participant on live goroutines:
-//
-//	c, err := omegasm.New(omegasm.WithN(5))
-//	...
-//	c.Start()
-//	defer c.Stop()
-//	leader, ok := c.WaitForAgreement(2 * time.Second)
-//
-// # Substrates
-//
-// The processes communicate through a pluggable shared-memory Substrate.
-// The default is Atomic(): sync/atomic registers in process memory. The
-// paper's motivating deployment — "computers that communicate through a
-// network of attached disks ... a storage area network (SAN)" (its
-// Section 1, pointing at Disk Paxos) — is the SAN substrate: every
-// register replicated over simulated network-attached disks, written to
-// all and acknowledged by a majority, so disk crashes below a majority
-// are masked:
-//
-//	c, err := omegasm.New(
-//		omegasm.WithN(3),
-//		omegasm.WithSAN(omegasm.SANConfig{
-//			Disks:       5,
-//			BaseLatency: 200 * time.Microsecond,
-//			Jitter:      300 * time.Microsecond,
-//		}),
-//	)
-//	...
-//	leader, ok := c.WaitForAgreement(time.Minute)
-//	c.CrashDisk(0) // a minority of disk crashes is invisible to callers
-//
-// # Algorithms
-//
-// Four algorithm variants are available (WithAlgorithm):
-//
-//   - WriteEfficient (default; the paper's Figure 2): after the run
-//     stabilizes, only the elected leader writes shared memory, and every
-//     shared variable except the leader's progress counter is bounded.
-//     Optimal in the number of eventual writers.
-//   - Bounded (the paper's Figure 5): every shared variable is bounded
-//     (the handshake registers are single bits); the price — proven
-//     unavoidable by the paper's Theorem 5 — is that every live process
-//     writes shared memory forever.
-//   - NWnR (the paper's Section 3.5): WriteEfficient with each suspicion
-//     column collapsed into one multi-writer register — n registers
-//     instead of n².
-//   - TimerFree (the paper's Section 3.5): WriteEfficient with the local
-//     timer replaced by a counted loop, dropping the timer assumption.
-//
-// # Consensus and replication
-//
-// Because Omega is exactly the liveness ingredient Paxos needs, a Cluster
-// also exposes the replication stack: Propose runs one-shot consensus
-// among the cluster's processes, and NewKV serves a replicated key-value
-// store over an Omega-driven Disk-Paxos log — both over whichever
-// substrate the cluster was built on.
-//
-// Liveness rests on the paper's AWB assumption, which on a live host is
-// mild: at least one live process's scheduler keeps granting it steps at
-// a bounded pace (AWB1), and the other processes' timers eventually
-// dominate a growing function of their timeout value (AWB2; Go timers
-// never fire early, so they qualify by construction). Safety — that
-// Leader always returns some process id — needs no assumption at all.
 package omegasm
 
 import (
@@ -113,6 +37,8 @@ func (a Algorithm) valid() bool {
 	return a >= WriteEfficient && a <= TimerFree
 }
 
+// String returns the algorithm's name as used in WithAlgorithm docs and
+// experiment output.
 func (a Algorithm) String() string {
 	switch a {
 	case WriteEfficient:
@@ -201,6 +127,9 @@ func New(opts ...Option) (*Cluster, error) {
 		return nil, err
 	}
 	if err := s.rejectFleetOptions(); err != nil {
+		return nil, err
+	}
+	if err := s.rejectShardedOptions(); err != nil {
 		return nil, err
 	}
 	return newCluster(s)
@@ -393,19 +322,25 @@ func (c *Cluster) Watch(interval time.Duration) (events <-chan LeadershipEvent, 
 
 // RegisterStats describes one shared register's access counts.
 type RegisterStats struct {
-	Name     string
-	Owner    int
-	Reads    uint64
-	Writes   uint64
+	// Name is the register's display name, e.g. "SUSPICIONS[2][3]".
+	Name string
+	// Owner is the writing process id, or -1 for multi-writer registers.
+	Owner int
+	// Reads counts the register's reads by all processes.
+	Reads uint64
+	// Writes counts the register's writes by all processes.
+	Writes uint64
+	// MaxValue is the largest value the register ever carried (the
+	// boundedness evidence of the paper's theorems).
 	MaxValue uint64
 }
 
 // Stats summarizes the cluster's shared-memory accesses. It returns nil
 // unless WithInstrumentation was set.
 type Stats struct {
-	// Writers[p] is the total number of register writes by process p;
-	// Readers[p] the total reads.
+	// Writers[p] is the total number of register writes by process p.
 	Writers []uint64
+	// Readers[p] is the total number of register reads by process p.
 	Readers []uint64
 	// Registers lists per-register detail, unordered.
 	Registers []RegisterStats

@@ -5,13 +5,16 @@ import (
 	"time"
 )
 
-// Option configures New (cluster options) or NewFleet (cluster options
+// Option configures New (cluster options), NewFleet (cluster options
 // applied to every member, plus the fleet-only options WithClusters,
-// WithRefreshInterval and WithClusterOptions). Options are applied in
-// order; later options override earlier ones. An option that is invalid
-// on its own (WithN(1), WithAlgorithm(99)) fails the constructor with a
-// descriptive error, as do conflicting combinations (two substrates) and
-// fleet-only options passed to New.
+// WithRefreshInterval and WithClusterOptions) or NewShardedKV (fleet
+// options plus the sharded-only WithShards, WithBatchSize and
+// WithShardSlots). Options are applied in order; later options override
+// earlier ones. An option that is invalid on its own (WithN(1),
+// WithAlgorithm(99)) fails the constructor with a descriptive error, as
+// do conflicting combinations (two substrates) and options passed to a
+// constructor they do not apply to (fleet-only options to New,
+// sharded-only options to New or NewFleet).
 type Option func(*settings) error
 
 // settings is the resolved configuration an option list denotes. One
@@ -35,6 +38,12 @@ type settings struct {
 	overrides       []clusterOverride
 	fleetOpts       []string // fleet-only options seen; New rejects them
 
+	// Sharded-store-level (NewShardedKV only).
+	shards      int
+	batchSize   int
+	shardSlots  int
+	shardedOpts []string // sharded-only options seen; New and NewFleet reject them
+
 	// inOverride is true while a WithClusterOptions list is applied, so
 	// fleet-only options can reject nesting.
 	inOverride bool
@@ -52,6 +61,7 @@ func newSettings() *settings {
 		algorithm: WriteEfficient,
 		substrate: Atomic(),
 		clusters:  1,
+		shards:    1,
 	}
 }
 
@@ -93,6 +103,15 @@ func (s *settings) finalizeCluster() error {
 func (s *settings) rejectFleetOptions() error {
 	if len(s.fleetOpts) > 0 {
 		return fmt.Errorf("omegasm: option %s only applies to NewFleet", s.fleetOpts[0])
+	}
+	return nil
+}
+
+// rejectShardedOptions errors if any sharded-store-only option was used;
+// New and NewFleet call it so WithShards et al. cannot silently vanish.
+func (s *settings) rejectShardedOptions() error {
+	if len(s.shardedOpts) > 0 {
+		return fmt.Errorf("omegasm: option %s only applies to NewShardedKV", s.shardedOpts[0])
 	}
 	return nil
 }
@@ -226,6 +245,64 @@ func WithRefreshInterval(d time.Duration) Option {
 		}
 		s.refreshInterval = d
 		s.fleetOpts = append(s.fleetOpts, "WithRefreshInterval")
+		return nil
+	}
+}
+
+// WithShards sets the number of hash partitions of a ShardedKV (default
+// 1). Each shard is one consensus-backed replicated store over its own
+// cluster of the store's fleet, so S shards run S independent Disk-Paxos
+// logs whose commit pipelines never contend with each other.
+// NewShardedKV-only.
+func WithShards(s int) Option {
+	return func(set *settings) error {
+		if set.inOverride {
+			return fmt.Errorf("omegasm: WithShards is not allowed inside WithClusterOptions")
+		}
+		if s < 1 {
+			return fmt.Errorf("omegasm: need at least 1 shard, got %d", s)
+		}
+		set.shards = s
+		set.shardedOpts = append(set.shardedOpts, "WithShards")
+		return nil
+	}
+}
+
+// WithBatchSize sets how many queued writes one consensus slot of a
+// ShardedKV shard may commit (default DefaultBatchSize; 1 turns batching
+// off). Larger batches amortize one Disk-Paxos round — and its quorum
+// I/O on the SAN — across more writes at the price of the reserved key
+// 0xFFFF (see KVBatch). NewShardedKV-only; for a standalone KV pass
+// KVBatch to NewKV instead.
+func WithBatchSize(b int) Option {
+	return func(set *settings) error {
+		if set.inOverride {
+			return fmt.Errorf("omegasm: WithBatchSize is not allowed inside WithClusterOptions")
+		}
+		if b < 1 {
+			return fmt.Errorf("omegasm: batch size must be at least 1, got %d", b)
+		}
+		set.batchSize = b
+		set.shardedOpts = append(set.shardedOpts, "WithBatchSize")
+		return nil
+	}
+}
+
+// WithShardSlots sets the replicated-log capacity, in consensus slots, of
+// each shard of a ShardedKV (default 1024, as NewKV). With batching one
+// slot commits up to WithBatchSize writes, so a shard's write capacity is
+// up to slots * batch commands. NewShardedKV-only; for a standalone KV
+// pass KVSlots to NewKV instead.
+func WithShardSlots(n int) Option {
+	return func(set *settings) error {
+		if set.inOverride {
+			return fmt.Errorf("omegasm: WithShardSlots is not allowed inside WithClusterOptions")
+		}
+		if n < 1 {
+			return fmt.Errorf("omegasm: need at least 1 log slot per shard, got %d", n)
+		}
+		set.shardSlots = n
+		set.shardedOpts = append(set.shardedOpts, "WithShardSlots")
 		return nil
 	}
 }

@@ -1,0 +1,158 @@
+package omegasm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"omegasm"
+)
+
+func TestSimShardedKVValidation(t *testing.T) {
+	if _, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{Shards: 0, N: 3}); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{Shards: 2, N: 1}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
+		Shards: 2, N: 3, Crashes: []omegasm.SimShardCrash{{Shard: 5, Proc: 0, At: 1}},
+	}); err == nil {
+		t.Error("out-of-range crash shard accepted")
+	}
+	if _, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
+		Shards: 2, N: 2,
+		Crashes: []omegasm.SimShardCrash{{Shard: 0, Proc: 0, At: 1}, {Shard: 0, Proc: 1, At: 2}},
+	}); err == nil {
+		t.Error("crashing a whole shard accepted")
+	}
+	// Batched runs reserve the key 0xFFFF row; unbatched runs accept it.
+	if _, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
+		Shards: 2, N: 3, Writes: []omegasm.SimWrite{{At: 1, Key: 0xFFFF, Val: 1}},
+	}); err == nil {
+		t.Error("reserved key accepted on a batched run")
+	}
+	if _, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
+		Shards: 2, N: 3, BatchSize: 1, Horizon: 1000,
+		Writes: []omegasm.SimWrite{{At: 1, Key: 0xFFFF, Val: 1}},
+	}); err != nil {
+		t.Errorf("key 0xFFFF rejected on an unbatched run: %v", err)
+	}
+	if _, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
+		Shards: 1, N: 17,
+	}); err == nil {
+		t.Error("17 processes accepted on a batched run")
+	}
+}
+
+// TestSimShardedKVDeliversAcrossShards: a calm sharded run commits every
+// routed write, the merged state matches a directly computed one, and
+// traffic actually spreads over the shards.
+func TestSimShardedKVDeliversAcrossShards(t *testing.T) {
+	writes := simWorkload(40, 2_000, 600)
+	res, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
+		Shards: 4, N: 3, Seed: 11, Writes: writes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != len(writes) {
+		t.Fatalf("delivered %d of %d writes", res.Delivered, len(writes))
+	}
+	want := map[uint16]uint16{}
+	for _, w := range writes {
+		want[w.Key] = w.Val
+	}
+	if !reflect.DeepEqual(res.State, want) {
+		t.Fatalf("state %v, want %v", res.State, want)
+	}
+	busy := 0
+	for s, sh := range res.Shards {
+		if len(sh.Committed) > 0 {
+			busy++
+		}
+		if sh.SlotsUsed > len(sh.Committed) {
+			t.Errorf("shard %d used %d slots for %d commands", s, sh.SlotsUsed, len(sh.Committed))
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d shards saw traffic; routing is not spreading", busy)
+	}
+	if res.TotalCommitted < len(writes) {
+		t.Fatalf("total committed %d < %d writes", res.TotalCommitted, len(writes))
+	}
+}
+
+// TestSimShardedKVDeterministicReplay is the acceptance property: equal
+// seeds give byte-identical per-shard commit histories, even with crashes
+// mid-workload.
+func TestSimShardedKVDeterministicReplay(t *testing.T) {
+	cfg := omegasm.SimShardedKVConfig{
+		Shards: 3, N: 4, Seed: 42, Horizon: 300_000,
+		Writes: simWorkload(30, 2_000, 800),
+		Crashes: []omegasm.SimShardCrash{
+			{Shard: 1, Proc: 0, At: 60_000},
+			{Shard: 2, Proc: 3, At: 120_000},
+		},
+	}
+	a, err := omegasm.SimShardedKV(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := omegasm.SimShardedKV(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal configs diverged")
+	}
+	for s := range a.Shards {
+		if !reflect.DeepEqual(a.Shards[s].Committed, b.Shards[s].Committed) {
+			t.Fatalf("shard %d commit history diverged across replays", s)
+		}
+	}
+	if a.TotalCommitted == 0 || a.Delivered == 0 {
+		t.Fatal("vacuous: nothing committed")
+	}
+}
+
+// TestSimShardedKVSaturationScalesWithShards is the scaling benchmark's
+// property as a unit test: under the closed-loop saturation workload, a
+// 4-shard store must commit at least 3x what a single shard commits in
+// the same virtual horizon (each machine owns a virtual processor, so
+// this measures the architecture's parallel capacity), with batching
+// visibly packing many commands per consensus slot.
+func TestSimShardedKVSaturationScalesWithShards(t *testing.T) {
+	run := func(shards int) *omegasm.SimShardedKVResult {
+		res, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
+			Shards: shards, N: 3, Seed: 7, Horizon: 30_000,
+			Slots: 4096, SaturateWindow: 256,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sh, sr := range res.Shards {
+			if sr.SlotsUsed >= 4096 {
+				t.Fatalf("shard %d filled its log; the measurement is capacity-capped", sh)
+			}
+		}
+		return res
+	}
+	one := run(1)
+	four := run(4)
+	if one.TotalCommitted == 0 {
+		t.Fatal("saturated single shard committed nothing")
+	}
+	// Shards are independent machines on independent virtual processors:
+	// aggregate capacity must scale near-linearly. Demand the acceptance
+	// floor (3x at 4 shards) with margin to spare for adversary variance.
+	ratio := float64(four.TotalCommitted) / float64(one.TotalCommitted)
+	if ratio < 3 {
+		t.Fatalf("4 shards committed only %.2fx of 1 shard (%d vs %d)",
+			ratio, four.TotalCommitted, one.TotalCommitted)
+	}
+	// Batching must be engaging: far fewer slots than commands.
+	if four.TotalSlots*2 >= four.TotalCommitted {
+		t.Fatalf("batching not engaging: %d slots for %d commands",
+			four.TotalSlots, four.TotalCommitted)
+	}
+}

@@ -25,6 +25,7 @@ type SimWrite struct {
 
 // SimCommit is one committed command of a simulated run, in log order.
 type SimCommit struct {
+	// Key and Val are the committed command's decoded pair.
 	Key, Val uint16
 }
 
@@ -74,14 +75,15 @@ type SimKVResult struct {
 	Crashed []bool
 	// Leaders[p] is process p's final leader estimate, -1 if p crashed.
 	Leaders []int
+	// SlotsUsed is how many consensus slots the longest live replica
+	// decided; with batching it lags len(Committed) by the average batch
+	// size.
+	SlotsUsed int
 	// End is the virtual time at which the run ended.
 	End int64
 }
 
 func (cfg *SimKVConfig) normalize() error {
-	if cfg.N < 2 {
-		return fmt.Errorf("omegasm: sim needs at least 2 processes, got %d", cfg.N)
-	}
 	if cfg.Horizon == 0 {
 		cfg.Horizon = 500_000
 	}
@@ -91,45 +93,84 @@ func (cfg *SimKVConfig) normalize() error {
 	if cfg.Algorithm == 0 {
 		cfg.Algorithm = WriteEfficient
 	}
-	if !cfg.Algorithm.valid() {
-		return fmt.Errorf("omegasm: unknown algorithm %v", cfg.Algorithm)
-	}
 	if cfg.Slots == 0 {
 		cfg.Slots = 256
 	}
-	if cfg.Slots < 1 {
-		return fmt.Errorf("omegasm: sim needs at least 1 log slot, got %d", cfg.Slots)
+	shard := simShardConfig{
+		n:         cfg.N,
+		algorithm: cfg.Algorithm,
+		slots:     cfg.Slots,
+		batch:     1,
+		crashes:   cfg.Crashes,
+		writes:    cfg.Writes,
 	}
-	for p, t := range cfg.Crashes {
-		if p < 0 || p >= cfg.N {
-			return fmt.Errorf("omegasm: crash schedule names process %d of %d", p, cfg.N)
+	return shard.validate()
+}
+
+// simShardConfig is the resolved per-shard configuration the builders
+// consume: SimKV runs one shard, SimShardedKV one per partition.
+type simShardConfig struct {
+	n         int
+	algorithm Algorithm
+	slots     int
+	batch     int
+	crashes   map[int]int64
+	writes    []SimWrite
+	// window, when positive, adds a closed-loop load generator that keeps
+	// that many commands queued on the shard's leader (the saturation
+	// workload of the scaling benchmark).
+	window int
+}
+
+func (c *simShardConfig) validate() error {
+	if c.n < 2 {
+		return fmt.Errorf("omegasm: sim needs at least 2 processes, got %d", c.n)
+	}
+	if !c.algorithm.valid() {
+		return fmt.Errorf("omegasm: unknown algorithm %v", c.algorithm)
+	}
+	if c.slots < 1 {
+		return fmt.Errorf("omegasm: sim needs at least 1 log slot, got %d", c.slots)
+	}
+	if c.batch < 1 {
+		return fmt.Errorf("omegasm: sim batch size must be at least 1, got %d", c.batch)
+	}
+	if c.batch > 1 && c.n > consensus.MaxBatchProcs {
+		return fmt.Errorf("omegasm: sim batching supports at most %d processes, got %d", consensus.MaxBatchProcs, c.n)
+	}
+	for p, t := range c.crashes {
+		if p < 0 || p >= c.n {
+			return fmt.Errorf("omegasm: crash schedule names process %d of %d", p, c.n)
 		}
 		if t < 0 {
 			return fmt.Errorf("omegasm: crash time %d for process %d is negative", t, p)
 		}
 	}
-	if len(cfg.Crashes) >= cfg.N {
-		return fmt.Errorf("omegasm: crash schedule kills all %d processes; at least one must survive", cfg.N)
+	if len(c.crashes) >= c.n {
+		return fmt.Errorf("omegasm: crash schedule kills all %d processes; at least one must survive", c.n)
 	}
-	for _, wr := range cfg.Writes {
-		if consensus.EncodeSet(wr.Key, wr.Val) == consensus.NoValue {
+	for _, wr := range c.writes {
+		if consensus.IsReserved(consensus.EncodeSet(wr.Key, wr.Val), c.batch > 1) {
 			return fmt.Errorf("omegasm: key/value pair (0x%04x, 0x%04x) is reserved", wr.Key, wr.Val)
 		}
 		if wr.At < 0 {
 			return fmt.Errorf("omegasm: write time %d is negative", wr.At)
 		}
 	}
+	if c.window < 0 {
+		return fmt.Errorf("omegasm: saturation window %d is negative", c.window)
+	}
 	return nil
 }
 
-// simRun holds one run's machinery while the engine executes it.
+// simRun holds one shard's machinery while the engine executes it.
 type simRun struct {
-	cfg    SimKVConfig
-	sim    *engine.Sim
-	procs  []core.Proc
-	kvs    []*consensus.KV
-	ids    []int // replica machine ids, for wake notifications
-	writer *simWriter
+	sim     *engine.Sim
+	crashes map[int]int64
+	procs   []core.Proc
+	kvs     []*consensus.KV
+	ids     []int // replica machine ids, for wake notifications
+	writer  *simWriter
 }
 
 // live reports whether process p is scheduled to be alive at time now.
@@ -137,7 +178,7 @@ type simRun struct {
 // time has passed is dead even if no event has collected it yet —
 // matching how the sampler always treated crashes.
 func (r *simRun) live(p int, now vclock.Time) bool {
-	ct, ok := r.cfg.Crashes[p]
+	ct, ok := r.crashes[p]
 	return !ok || now < ct
 }
 
@@ -194,7 +235,7 @@ func (m simReplicaMachine) Step(now vclock.Time) engine.Hint {
 
 // simWatcher is the leadership watcher: on a change of agreed leader it
 // drops the queues stranded on the other replicas (see NewKV for why)
-// and wakes the new leader's replica.
+// and wakes every replica.
 type simWatcher struct {
 	r          *simRun
 	lastLeader int
@@ -208,7 +249,12 @@ func (w *simWatcher) Step(now vclock.Time) engine.Hint {
 			}
 		}
 		w.lastLeader = l
-		w.r.sim.Notify(w.r.ids[l])
+		// Wake every replica, as the live watcher does: the new leader may
+		// hold a queue, and parked followers may sit on unlearned slots a
+		// dead leader decided.
+		for _, id := range w.r.ids {
+			w.r.sim.Notify(id)
+		}
 	}
 	return engine.At(now + 16)
 }
@@ -219,6 +265,7 @@ type simActiveWrite struct {
 	cmd         uint32
 	marks       []int // committed watermark per replica at activation
 	submittedTo int
+	submitGen   uint64
 	done        bool
 }
 
@@ -259,16 +306,18 @@ func (w *simWriter) Step(now vclock.Time) engine.Hint {
 	}
 	outstanding := false
 	if l, ok := w.r.agreedLeader(now); ok {
+		gen := w.r.kvs[l].DropGeneration()
 		for _, aw := range w.active {
 			if aw.done {
 				continue
 			}
 			outstanding = true
 			// Resubmit on a leader change, and when a flap this machine
-			// never observed swept the command from the leader's queue.
-			if aw.submittedTo != l || !w.r.kvs[l].PendingContains(aw.cmd) {
+			// never observed swept the command from the leader's queue (its
+			// drop generation moved since the submit).
+			if aw.submittedTo != l || aw.submitGen != gen {
 				if err := w.r.kvs[l].Set(aw.write.Key, aw.write.Val); err == nil {
-					aw.submittedTo = l
+					aw.submittedTo, aw.submitGen = l, gen
 					w.r.sim.Notify(w.r.ids[l])
 				}
 			}
@@ -290,26 +339,53 @@ func (w *simWriter) Step(now vclock.Time) engine.Hint {
 	return engine.At(wake)
 }
 
-// SimKV executes one deterministic run of the full consensus/KV stack
-// under the virtual-time engine and returns its reproducible outcome:
-// same config (and seed), same committed history, byte for byte. Use it
-// to script failover scenarios — crash the leader mid-workload, replay
-// with another seed, diff the histories — that the live runtime can only
-// approximate statistically.
-func SimKV(cfg SimKVConfig) (*SimKVResult, error) {
-	if err := cfg.normalize(); err != nil {
-		return nil, err
+// simLoadWriter is the closed-loop saturation workload of the scaling
+// benchmark: it keeps window commands queued on the shard's agreed
+// leader, refilling as batches commit, so the shard's consensus pipeline
+// is never starved and the committed count measures its capacity. Keys
+// cycle over the low key space; delivery is not tracked (the committed
+// history is the measurement).
+type simLoadWriter struct {
+	r      *simRun
+	window int
+	nextK  uint32
+}
+
+func (w *simLoadWriter) Step(now vclock.Time) engine.Hint {
+	l, ok := w.r.agreedLeader(now)
+	if !ok {
+		return engine.At(now + 16)
 	}
-	n := cfg.N
-	sim, err := engine.NewSim(engine.SimConfig{Seed: cfg.Seed, Horizon: cfg.Horizon})
-	if err != nil {
-		return nil, err
+	kv := w.r.kvs[l]
+	if kv.LogFull() {
+		return engine.Park()
 	}
+	refilled := false
+	for kv.PendingLen() < w.window {
+		// Keys stay far below the reserved 0xFFFF row.
+		if err := kv.Set(uint16(w.nextK%1024), uint16(w.nextK)); err != nil {
+			break
+		}
+		w.nextK++
+		refilled = true
+	}
+	if refilled {
+		w.r.sim.Notify(w.r.ids[l])
+	}
+	return engine.At(now + 4)
+}
+
+// addSimShard builds one shard's full stack — election processes,
+// replicas over a (possibly batched) log, leadership watcher, workload
+// writers — and registers every machine on sim. Machines are added in a
+// fixed order, so the run stays a pure function of (seed, config).
+func addSimShard(sim *engine.Sim, cfg simShardConfig) (*simRun, error) {
+	n := cfg.n
 	mem := shmem.NewSimMem(n)
-	run := &simRun{cfg: cfg, sim: sim}
+	run := &simRun{sim: sim, crashes: cfg.crashes}
 
 	run.procs = make([]core.Proc, n)
-	switch cfg.Algorithm {
+	switch cfg.algorithm {
 	case WriteEfficient:
 		for i, p := range core.BuildAlgo1(mem, n) {
 			run.procs[i] = p
@@ -332,7 +408,7 @@ func SimKV(cfg SimKVConfig) (*SimKVResult, error) {
 	// designate the lowest pid the crash schedule spares.
 	awb := -1
 	for p := 0; p < n; p++ {
-		if _, crashes := cfg.Crashes[p]; !crashes {
+		if _, crashes := cfg.crashes[p]; !crashes {
 			awb = p
 			break
 		}
@@ -352,13 +428,16 @@ func SimKV(cfg SimKVConfig) (*SimKVResult, error) {
 			engine.WithPacing(pacing),
 			engine.WithTimer(vclock.Exact{Scale: 4, Floor: 1}, 1),
 		}
-		if ct, ok := cfg.Crashes[p]; ok {
+		if ct, ok := cfg.crashes[p]; ok {
 			opts = append(opts, engine.WithCrashAt(ct))
 		}
 		sim.Add(simProcMachine{p: run.procs[p]}, opts...)
 	}
 
-	log := consensus.NewLog(mem, n, cfg.Slots)
+	log, err := consensus.NewBatchLog(mem, n, cfg.slots, cfg.batch)
+	if err != nil {
+		return nil, fmt.Errorf("omegasm: sim log: %w", err)
+	}
 	for i := 0; i < n; i++ {
 		i := i
 		replica, err := consensus.NewReplica(log, i, func() int { return run.procs[i].Leader() })
@@ -371,7 +450,7 @@ func SimKV(cfg SimKVConfig) (*SimKVResult, error) {
 		}
 		run.kvs = append(run.kvs, kv)
 		opts := []engine.SimOpt{engine.WithPacing(sched.Uniform{Min: 1, Max: 8})}
-		if ct, ok := cfg.Crashes[i]; ok {
+		if ct, ok := cfg.crashes[i]; ok {
 			opts = append(opts, engine.WithCrashAt(ct))
 		}
 		run.ids = append(run.ids, sim.Add(simReplicaMachine{r: run, idx: i}, opts...))
@@ -379,40 +458,238 @@ func SimKV(cfg SimKVConfig) (*SimKVResult, error) {
 
 	sim.Add(&simWatcher{r: run, lastLeader: -1}, engine.WithFirstWakeAt(16))
 
-	writes := append([]SimWrite(nil), cfg.Writes...)
-	sort.SliceStable(writes, func(i, j int) bool { return writes[i].At < writes[j].At })
-	run.writer = &simWriter{r: run, writes: writes}
-	first := vclock.Time(1)
-	if len(writes) > 0 && writes[0].At > first {
-		first = writes[0].At
+	if len(cfg.writes) > 0 {
+		writes := append([]SimWrite(nil), cfg.writes...)
+		sort.SliceStable(writes, func(i, j int) bool { return writes[i].At < writes[j].At })
+		run.writer = &simWriter{r: run, writes: writes}
+		first := vclock.Time(1)
+		if writes[0].At > first {
+			first = writes[0].At
+		}
+		sim.Add(run.writer, engine.WithFirstWakeAt(first))
 	}
-	sim.Add(run.writer, engine.WithFirstWakeAt(first))
+	if cfg.window > 0 {
+		sim.Add(&simLoadWriter{r: run, window: cfg.window}, engine.WithFirstWakeAt(16))
+	}
+	return run, nil
+}
 
-	end := sim.Run()
-
+// collect assembles the shard's reproducible outcome at end time.
+func (r *simRun) collect(end vclock.Time) *SimKVResult {
+	n := len(r.procs)
 	res := &SimKVResult{
-		State:     make(map[uint16]uint16),
-		Delivered: run.writer.delivered,
-		Crashed:   make([]bool, n),
-		Leaders:   make([]int, n),
-		End:       end,
+		State:   make(map[uint16]uint16),
+		Crashed: make([]bool, n),
+		Leaders: make([]int, n),
+		End:     end,
+	}
+	if r.writer != nil {
+		res.Delivered = r.writer.delivered
 	}
 	var longest []uint32
 	for p := 0; p < n; p++ {
-		if !run.live(p, end) {
+		if !r.live(p, end) {
 			res.Crashed[p] = true
 			res.Leaders[p] = -1
 			continue
 		}
-		res.Leaders[p] = run.procs[p].Leader()
-		if c := run.kvs[p].Committed(); len(c) > len(longest) {
+		res.Leaders[p] = r.procs[p].Leader()
+		if c := r.kvs[p].Committed(); len(c) > len(longest) {
 			longest = c
+			res.SlotsUsed = r.kvs[p].SlotsDecided()
 		}
 	}
 	for _, cmd := range longest {
 		k, v := consensus.DecodeSet(cmd)
 		res.Committed = append(res.Committed, SimCommit{Key: k, Val: v})
 		res.State[k] = v
+	}
+	return res
+}
+
+// SimKV executes one deterministic run of the full consensus/KV stack
+// under the virtual-time engine and returns its reproducible outcome:
+// same config (and seed), same committed history, byte for byte. Use it
+// to script failover scenarios — crash the leader mid-workload, replay
+// with another seed, diff the histories — that the live runtime can only
+// approximate statistically.
+func SimKV(cfg SimKVConfig) (*SimKVResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	sim, err := engine.NewSim(engine.SimConfig{Seed: cfg.Seed, Horizon: cfg.Horizon})
+	if err != nil {
+		return nil, err
+	}
+	run, err := addSimShard(sim, simShardConfig{
+		n:         cfg.N,
+		algorithm: cfg.Algorithm,
+		slots:     cfg.Slots,
+		batch:     1,
+		crashes:   cfg.Crashes,
+		writes:    cfg.Writes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return run.collect(sim.Run()), nil
+}
+
+// SimShardCrash schedules one crash of a sharded simulated run: process
+// Proc of shard Shard is permanently descheduled at virtual time At.
+type SimShardCrash struct {
+	// Shard and Proc locate the process.
+	Shard, Proc int
+	// At is the crash time in virtual ticks.
+	At int64
+}
+
+// SimShardedKVConfig parameterizes one deterministic run of a whole
+// sharded store — S independent shards, each a full
+// election/consensus/KV stack, in one virtual-time engine. It is the
+// deterministic analogue of ShardedKV: writes route by the same hash,
+// shards fail independently, and identical configurations produce
+// byte-identical per-shard commit histories. Because virtual time models
+// every machine as its own processor, a sharded sim also measures the
+// architecture's parallel capacity exactly — the scaling benchmark runs
+// this with SaturateWindow set.
+type SimShardedKVConfig struct {
+	// Shards is the number of hash partitions (>= 1).
+	Shards int
+	// N is the number of processes per shard (>= 2).
+	N int
+	// Seed drives the run's scheduling adversary.
+	Seed int64
+	// Horizon ends the run, in virtual ticks; default 500_000.
+	Horizon int64
+	// Algorithm selects the election algorithm; default WriteEfficient.
+	Algorithm Algorithm
+	// Slots is each shard's replicated-log capacity; default 256.
+	Slots int
+	// BatchSize is each shard's proposal batch size; default
+	// DefaultBatchSize, 1 turns batching off. Batched runs reserve the
+	// key 0xFFFF row, as ShardedKV does.
+	BatchSize int
+	// Crashes is the cross-shard crash schedule. At least one process per
+	// shard must survive.
+	Crashes []SimShardCrash
+	// Writes is the tracked workload: each write routes to its key's
+	// shard (the ShardFor hash) and is retried across that shard's
+	// leadership changes until committed.
+	Writes []SimWrite
+	// SaturateWindow, when positive, adds one closed-loop load generator
+	// per shard that keeps that many commands queued on the shard's
+	// leader — the saturation workload whose committed count measures
+	// shard capacity. Zero: no generated load.
+	SaturateWindow int
+}
+
+// SimShardedKVResult is the reproducible outcome of a sharded simulated
+// run.
+type SimShardedKVResult struct {
+	// Shards holds each shard's full outcome (committed history, state,
+	// per-process fates), indexed by shard.
+	Shards []SimKVResult
+	// State is the union of the shards' states (hash partitioning makes
+	// the key sets disjoint).
+	State map[uint16]uint16
+	// TotalCommitted is the total number of committed commands across
+	// shards.
+	TotalCommitted int
+	// TotalSlots is the total number of consensus slots those commands
+	// used; TotalCommitted/TotalSlots is the measured average batch size.
+	TotalSlots int
+	// Delivered counts tracked workload writes whose commit was confirmed
+	// before the horizon, across all shards.
+	Delivered int
+	// End is the virtual time at which the run ended.
+	End int64
+}
+
+func (cfg *SimShardedKVConfig) normalize() ([]simShardConfig, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("omegasm: sim needs at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 500_000
+	}
+	if cfg.Horizon < 0 {
+		return nil, fmt.Errorf("omegasm: sim horizon must be positive, got %d", cfg.Horizon)
+	}
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = WriteEfficient
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 256
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	shards := make([]simShardConfig, cfg.Shards)
+	for s := range shards {
+		shards[s] = simShardConfig{
+			n:         cfg.N,
+			algorithm: cfg.Algorithm,
+			slots:     cfg.Slots,
+			batch:     cfg.BatchSize,
+			crashes:   map[int]int64{},
+			window:    cfg.SaturateWindow,
+		}
+	}
+	for _, cr := range cfg.Crashes {
+		if cr.Shard < 0 || cr.Shard >= cfg.Shards {
+			return nil, fmt.Errorf("omegasm: crash schedule names shard %d of %d", cr.Shard, cfg.Shards)
+		}
+		shards[cr.Shard].crashes[cr.Proc] = cr.At
+	}
+	for _, wr := range cfg.Writes {
+		sh := &shards[shardIndex(wr.Key, cfg.Shards)]
+		sh.writes = append(sh.writes, wr)
+	}
+	for s := range shards {
+		if err := shards[s].validate(); err != nil {
+			return nil, fmt.Errorf("omegasm: shard %d: %w", s, err)
+		}
+	}
+	return shards, nil
+}
+
+// SimShardedKV executes one deterministic run of a whole sharded store
+// under the virtual-time engine: same config (and seed), same per-shard
+// committed histories, byte for byte. Use it to script cross-shard
+// failover scenarios (crash one shard's leader mid-workload and replay),
+// and — with SaturateWindow — to measure how aggregate commit capacity
+// scales with the shard count when every machine has its own virtual
+// processor.
+func SimShardedKV(cfg SimShardedKVConfig) (*SimShardedKVResult, error) {
+	shardCfgs, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	sim, err := engine.NewSim(engine.SimConfig{Seed: cfg.Seed, Horizon: cfg.Horizon})
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]*simRun, len(shardCfgs))
+	for s, sc := range shardCfgs {
+		if runs[s], err = addSimShard(sim, sc); err != nil {
+			return nil, fmt.Errorf("omegasm: shard %d: %w", s, err)
+		}
+	}
+	end := sim.Run()
+	res := &SimShardedKVResult{
+		State: make(map[uint16]uint16),
+		End:   end,
+	}
+	for _, run := range runs {
+		sr := run.collect(end)
+		res.Shards = append(res.Shards, *sr)
+		res.TotalCommitted += len(sr.Committed)
+		res.TotalSlots += sr.SlotsUsed
+		res.Delivered += sr.Delivered
+		for k, v := range sr.State {
+			res.State[k] = v
+		}
 	}
 	return res, nil
 }
