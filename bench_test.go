@@ -344,6 +344,50 @@ func BenchmarkKVThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkKVSustained measures the sustained committed-write rate of a
+// default-options (checkpointing) store over a deliberately tiny 64-slot
+// window: every iteration is one synchronous Put, and at any b.N past a
+// few hundred the stream is many times the slot capacity, so the rate
+// includes the full checkpoint seal/publish/quorum-ack/recycle cycle. A
+// fixed-capacity log would fail with ErrLogFull almost immediately.
+// `omegabench -bench` runs the wall-clock async variant and records it in
+// BENCH_kv_sustained.json.
+func BenchmarkKVSustained(b *testing.B) {
+	c, err := omegasm.New(
+		omegasm.WithN(3),
+		omegasm.WithStepInterval(100*time.Microsecond),
+		omegasm.WithTimerUnit(time.Millisecond),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	if _, ok := c.WaitForAgreement(20 * time.Second); !ok {
+		b.Fatal("no agreement")
+	}
+	kv, err := omegasm.NewKV(c,
+		omegasm.KVSlots(64), // window stays tiny no matter how long the stream runs
+		omegasm.KVStepInterval(50*time.Microsecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kv.Put(ctx, uint16(i%1024), uint16(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(kv.Checkpoints()), "checkpoints")
+}
+
 // BenchmarkShardedKVThroughput measures the live sharded store end to
 // end: b.N committed writes pushed through MultiPut groups (so per-shard
 // proposal batching engages), at 1 and 4 shards. One op is one committed

@@ -72,6 +72,25 @@
 // published-batch indirection, amortizing the Disk-Paxos round (PutAll is
 // the matching group-commit write path).
 //
+// # Unbounded write streams
+//
+// The log checkpoints by default (KVCheckpointEvery for a standalone KV,
+// WithCheckpointEvery per shard of a ShardedKV): every few decided slots
+// the leader seals the committed prefix into a snapshot of the store's
+// state, published to immutable per-epoch register areas on the
+// substrate via the same pointer-to-value indirection batches use; once
+// a quorum of replicas durably acknowledges the seal, the sealed slots
+// are recycled and reused, so the write stream is unbounded — KVSlots
+// bounds only the in-flight window, and Put/PutAll never return
+// ErrLogFull. A replica that falls behind the recycled window (restarted
+// or long parked) installs the latest published snapshot and resumes at
+// the seal point. The durability statement is unchanged by recycling: a
+// committed write survives any minority of crashes, including across
+// recycling, because it is always reconstructible from either a live
+// slot or a durably published snapshot. KVCheckpointEvery(0) (or
+// WithCheckpointEvery(0)) restores the fixed-capacity log and its
+// ErrLogFull semantics.
+//
 // # Sharding
 //
 // ShardedKV composes the whole stack into one traffic-serving service: S

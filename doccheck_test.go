@@ -11,36 +11,40 @@ import (
 )
 
 // TestExportedSymbolsAreDocumented is the docs gate CI runs: every
-// exported identifier of package omegasm — functions, types, methods,
-// consts, vars, struct fields and interface methods — must carry a doc
-// comment, so `go doc omegasm` reads as a complete reference. It is the
-// dependency-free equivalent of `revive -rule exported`.
+// exported identifier — functions, types, methods, consts, vars, struct
+// fields and interface methods — must carry a doc comment, so `go doc`
+// reads as a complete reference. It covers the public package omegasm
+// plus the internal packages other layers program against
+// (internal/consensus, internal/engine). It is the dependency-free
+// equivalent of `revive -rule exported`.
 func TestExportedSymbolsAreDocumented(t *testing.T) {
 	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var missing []string
 	report := func(pos token.Pos, what string) {
 		missing = append(missing, fmt.Sprintf("%s: %s", fset.Position(pos), what))
 	}
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				switch d := decl.(type) {
-				case *ast.FuncDecl:
-					if !d.Name.IsExported() || d.Doc != nil {
-						continue
+	for _, dir := range []string{".", "internal/consensus", "internal/engine"} {
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					switch d := decl.(type) {
+					case *ast.FuncDecl:
+						if !d.Name.IsExported() || d.Doc != nil {
+							continue
+						}
+						if d.Recv != nil && !exportedReceiver(d.Recv) {
+							continue
+						}
+						report(d.Pos(), "func "+d.Name.Name)
+					case *ast.GenDecl:
+						checkGenDecl(d, report)
 					}
-					if d.Recv != nil && !exportedReceiver(d.Recv) {
-						continue
-					}
-					report(d.Pos(), "func "+d.Name.Name)
-				case *ast.GenDecl:
-					checkGenDecl(d, report)
 				}
 			}
 		}

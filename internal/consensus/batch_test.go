@@ -27,26 +27,47 @@ func newBatchReplicas(t *testing.T, n, slots, maxBatch int, omega func(i int) fu
 }
 
 func TestBatchDescEncoding(t *testing.T) {
-	for _, c := range []struct{ pid, seq int }{{0, 0}, {3, 17}, {15, 4093}} {
+	// Batch coordinates: the full 12-bit space on a plain batched log
+	// (historical cap 4094), the bit-11-clear half on a checkpointing one.
+	for _, c := range []struct{ pid, seq int }{{0, 0}, {3, 17}, {15, batchSeqCapCkpt - 1}, {15, batchSeqCapPlain - 1}} {
 		desc := encodeBatchDesc(c.pid, c.seq)
-		if !isBatchDesc(desc) {
-			t.Fatalf("descriptor (%d,%d) not recognized", c.pid, c.seq)
+		if !isDesc(desc) {
+			t.Fatalf("batch descriptor (%d,%d) not recognized", c.pid, c.seq)
+		}
+		if c.seq < batchSeqCapCkpt && isCkptDesc(desc) {
+			t.Fatalf("checkpointing-log batch descriptor (%d,%d) classified as checkpoint", c.pid, c.seq)
 		}
 		pid, seq := decodeBatchDesc(desc)
 		if pid != c.pid || seq != c.seq {
 			t.Fatalf("round trip (%d,%d) -> (%d,%d)", c.pid, c.seq, pid, seq)
 		}
 	}
-	// The header cap (4094) keeps every descriptor distinct from NoValue:
-	// the colliding coordinates are out of range by construction.
+	for _, c := range []struct{ pid, seq int }{{0, 0}, {7, 99}, {15, ckptSeqCap - 1}} {
+		desc := encodeCkptDesc(c.pid, c.seq)
+		if !isDesc(desc) || !isCkptDesc(desc) {
+			t.Fatalf("checkpoint descriptor (%d,%d) not recognized", c.pid, c.seq)
+		}
+		pid, seq := decodeCkptDesc(desc)
+		if pid != c.pid || seq != c.seq {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", c.pid, c.seq, pid, seq)
+		}
+	}
+	// The sequence caps keep every reachable descriptor distinct from
+	// NoValue: the colliding coordinates are out of range by construction.
+	if encodeCkptDesc(15, 0x7FF) != NoValue {
+		t.Fatal("expected checkpoint (15, 0x7FF) to collide with NoValue; the cap comment is stale")
+	}
 	if encodeBatchDesc(15, 0xFFF) != NoValue {
-		t.Fatal("expected (15, 0xFFF) to collide with NoValue; the cap comment is stale")
+		t.Fatal("expected batch (15, 0xFFF) to collide with NoValue; the cap comment is stale")
+	}
+	if ckptSeqCap > 0x7FF || batchSeqCapPlain > 0xFFF || batchSeqCapCkpt > 0x7FF {
+		t.Fatal("sequence caps reach the NoValue coordinates")
 	}
 	if IsReserved(EncodeSet(0xFFFF, 1), true) != true {
-		t.Fatal("key 0xFFFF must be reserved on a batched log")
+		t.Fatal("key 0xFFFF must be reserved when the descriptor row is claimed")
 	}
 	if IsReserved(EncodeSet(0xFFFF, 1), false) != false {
-		t.Fatal("key 0xFFFF must stay usable on an unbatched log")
+		t.Fatal("key 0xFFFF must stay usable on a plain log")
 	}
 }
 
@@ -130,7 +151,7 @@ func TestBatchPrefixAgreementUnderChurn(t *testing.T) {
 		}
 		seen := map[uint32]bool{}
 		for _, v := range longest {
-			if isBatchDesc(v) {
+			if isDesc(v) {
 				t.Fatalf("seed %d: descriptor %#x leaked into the flattened stream", seed, v)
 			}
 			if seen[v] {
@@ -158,7 +179,7 @@ func TestBatchAreaExhaustionFallsBackToPlain(t *testing.T) {
 		}
 		burned++
 	}
-	if burned != 4 { // hdrCap = min(slots, 4094) = 4
+	if burned != 4 { // hdrCap = min(slots, batch seq cap) = 4
 		t.Fatalf("burned %d publications, want 4", burned)
 	}
 	for k := 1; k <= 30; k++ {

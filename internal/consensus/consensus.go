@@ -43,6 +43,7 @@ const NoValue = uint32(0xFFFFFFFF)
 
 // Instance is the shared memory of one consensus instance.
 type Instance struct {
+	// N is the number of participating processes.
 	N      int
 	MBal   []shmem.Reg // [i] owned by i: highest ballot i entered
 	BalInp []shmem.Reg // [i] owned by i: (bal<<32 | value) i last accepted

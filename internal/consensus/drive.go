@@ -12,6 +12,7 @@ import (
 // take micro-steps through this shape, so the same driver serves the
 // whole stack.
 type Steppable interface {
+	// Step advances the machine by one micro-step at time now.
 	Step(now vclock.Time)
 }
 

@@ -2,6 +2,7 @@ package consensus
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"omegasm/internal/vclock"
@@ -19,9 +20,18 @@ import (
 // only as fresh as the replica's commit progress — sequential
 // consistency, not linearizability; a linearizable read would go through
 // the log).
+//
+// On a checkpointing (recycling) log the KV is also the log's
+// Snapshotter: the leader seals the applied map into published snapshots,
+// and a replica that falls behind the recycled window installs the
+// latest snapshot instead of replaying — so the write stream is
+// unbounded while the state stays exact.
 type KV struct {
 	mu      sync.Mutex
 	replica *Replica
+	// applied indexes into the global committed command stream (including
+	// any prefix summarized by checkpoints): the first applied commands
+	// are reflected in state.
 	applied int
 	state   map[uint16]uint16
 }
@@ -38,23 +48,76 @@ func DecodeSet(cmd uint32) (key, val uint16) {
 	return uint16(cmd >> 16), uint16(cmd)
 }
 
-// NewKV builds a store replica over the given log replica.
+// NewKV builds a store replica over the given log replica and attaches
+// itself as the replica's snapshotter, enabling checkpoint sealing and
+// snapshot install when the log recycles.
 func NewKV(replica *Replica) (*KV, error) {
 	if replica == nil {
 		return nil, fmt.Errorf("consensus: nil replica")
 	}
-	return &KV{
+	kv := &KV{
 		replica: replica,
 		state:   make(map[uint16]uint16),
-	}, nil
+	}
+	replica.AttachSnapshotter(kvSnapshotter{kv})
+	return kv, nil
+}
+
+// kvSnapshotter adapts the store to the log's Snapshotter contract. Its
+// methods run inside Replica.Step, i.e. with kv.mu already held by the
+// StepBurst that drives the replica, so they touch the fields directly.
+type kvSnapshotter struct{ kv *KV }
+
+// SnapshotEntries renders the applied map — fast-forwarded over any
+// committed-but-unapplied tail first — as Set commands in ascending key
+// order, a pure function of the committed prefix.
+func (s kvSnapshotter) SnapshotEntries() []uint32 {
+	s.kv.applyCommittedLocked()
+	keys := make([]int, 0, len(s.kv.state))
+	for k := range s.kv.state {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	out := make([]uint32, len(keys))
+	for i, k := range keys {
+		out[i] = EncodeSet(uint16(k), s.kv.state[uint16(k)])
+	}
+	return out
+}
+
+// InstallSnapshot replaces the applied map with the decoded entries and
+// jumps the application point past the sealed prefix.
+func (s kvSnapshotter) InstallSnapshot(entries []uint32, committedLen int) {
+	st := make(map[uint16]uint16, len(entries))
+	for _, e := range entries {
+		k, v := DecodeSet(e)
+		st[k] = v
+	}
+	s.kv.state = st
+	s.kv.applied = committedLen
+}
+
+// AppliedLen returns the application point; the replica never trims
+// retained commands past it.
+func (s kvSnapshotter) AppliedLen() int { return s.kv.applied }
+
+// applyCommittedLocked applies every committed-but-unapplied command in
+// log order. Callers hold kv.mu.
+func (kv *KV) applyCommittedLocked() {
+	base := kv.replica.committedBase
+	for kv.applied < base+len(kv.replica.committed) {
+		key, val := DecodeSet(kv.replica.committed[kv.applied-base])
+		kv.state[key] = val
+		kv.applied++
+	}
 }
 
 // Set queues a write for replication. It is applied once committed. On a
-// batched log the whole key 0xFFFF row is reserved for batch descriptors;
-// on an unbatched log only the pair (0xFFFF, 0xFFFF) is (the NoValue
-// sentinel).
+// log that reserves the descriptor row (batched or checkpointing) the
+// whole key 0xFFFF row is rejected; on a plain log only the pair
+// (0xFFFF, 0xFFFF) is (the NoValue sentinel).
 func (kv *KV) Set(key, val uint16) error {
-	if IsReserved(EncodeSet(key, val), kv.replica.log.Batched()) {
+	if IsReserved(EncodeSet(key, val), kv.replica.log.ReservesTopRow()) {
 		return fmt.Errorf("consensus: key/value pair (0x%04x, 0x%04x) is reserved", key, val)
 	}
 	kv.mu.Lock()
@@ -69,9 +132,9 @@ func (kv *KV) Set(key, val uint16) error {
 // into batch proposals, so submitting related writes together is the
 // group-commit fast path.
 func (kv *KV) SetAll(pairs ...[2]uint16) error {
-	batched := kv.replica.log.Batched()
+	claimed := kv.replica.log.ReservesTopRow()
 	for _, p := range pairs {
-		if IsReserved(EncodeSet(p[0], p[1]), batched) {
+		if IsReserved(EncodeSet(p[0], p[1]), claimed) {
 			return fmt.Errorf("consensus: key/value pair (0x%04x, 0x%04x) is reserved", p[0], p[1])
 		}
 	}
@@ -98,7 +161,9 @@ func (kv *KV) Len() int {
 	return len(kv.state)
 }
 
-// Applied returns how many log entries have been applied.
+// Applied returns how many commands of the global committed stream are
+// reflected in the applied state (including any checkpoint-summarized
+// prefix).
 func (kv *KV) Applied() int {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
@@ -118,79 +183,103 @@ func (kv *KV) Step(now vclock.Time) { kv.StepN(now, 1) }
 func (kv *KV) StepN(now vclock.Time, n int) { kv.StepBurst(now, n) }
 
 // StepBurst is StepN reporting progress, for wake-driven engines: it
-// returns how many entries newly committed during the burst and how many
-// submitted commands remain unproposed, so a driver can decide between
-// stepping again immediately (work is draining), polling later (idle), or
+// returns how many entries newly committed during the burst (snapshot
+// installs count their whole skipped prefix) and how many submitted
+// commands remain unproposed, so a driver can decide between stepping
+// again immediately (work is draining), polling later (idle), or
 // signalling waiting writers (commits landed).
 func (kv *KV) StepBurst(now vclock.Time, n int) (newlyCommitted, pending int) {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	before := len(kv.replica.committed)
+	before := kv.replica.CommittedLen()
 	for i := 0; i < n; i++ {
 		kv.replica.Step(now)
 	}
-	committed := kv.replica.committed
-	for ; kv.applied < len(committed); kv.applied++ {
-		key, val := DecodeSet(committed[kv.applied])
-		kv.state[key] = val
-	}
-	return len(committed) - before, len(kv.replica.pending)
+	kv.applyCommittedLocked()
+	return kv.replica.CommittedLen() - before, len(kv.replica.pending)
 }
 
-// Committed returns a copy of the replica's committed prefix, in log
-// order.
+// Committed returns a copy of the replica's retained committed tail, in
+// log order: the full history on a non-recycling log, the commands since
+// the last fully-applied checkpoint on a recycling one.
 func (kv *KV) Committed() []uint32 {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	return kv.replica.Committed()
 }
 
-// CommittedLen returns the length of the replica's committed prefix.
+// CommittedLen returns the length of the whole committed command stream,
+// including any checkpoint-summarized prefix.
 func (kv *KV) CommittedLen() int {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	return len(kv.replica.committed)
+	return kv.replica.CommittedLen()
 }
 
-// CommittedSince returns a copy of the committed commands from index from
-// on (clamped to the committed range). Writers that watch many commands
-// at once scan each appended region exactly once by advancing their
-// watermark past what CommittedSince returned.
+// CommittedSince returns a copy of the committed commands from global
+// index from on (clamped to the retained range: commands summarized into
+// a checkpoint are no longer individually returnable, and callers must
+// treat them as unconfirmed — resubmission is idempotent). Prefer
+// TailSince, which also reports the next watermark.
 func (kv *KV) CommittedSince(from int) []uint32 {
+	cmds, _ := kv.TailSince(from)
+	return cmds
+}
+
+// TailSince returns a copy of the retained committed commands from global
+// index from on, plus the global index just past what was returned — the
+// caller's next watermark. Writers that watch many commands at once scan
+// each appended region exactly once by advancing their watermark to next.
+// Commands already summarized into a checkpoint are skipped (treat as
+// unconfirmed; Set is idempotent under resubmission).
+func (kv *KV) TailSince(from int) (cmds []uint32, next int) {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	committed := kv.replica.committed
-	if from < 0 {
-		from = 0
+	base := kv.replica.committedBase
+	if from < base {
+		from = base
 	}
-	if from > len(committed) {
-		from = len(committed)
+	if from > base+len(kv.replica.committed) {
+		from = base + len(kv.replica.committed)
 	}
-	return append([]uint32(nil), committed[from:]...)
+	cmds = append([]uint32(nil), kv.replica.committed[from-base:]...)
+	return cmds, from + len(cmds)
 }
 
-// Capacity returns the total number of log slots. On a batched log one
-// slot can decide up to MaxBatch commands, so the committed command
-// stream may grow past Capacity; use LogFull to detect exhaustion.
+// Capacity returns the slot capacity of the log window: the total log
+// capacity of a non-recycling store, the in-flight window of a recycling
+// one (whose command stream is unbounded). On a batched log one slot can
+// decide up to MaxBatch commands.
 func (kv *KV) Capacity() int {
-	return len(kv.replica.log.Slots)
+	return kv.replica.log.Cap()
 }
 
-// SlotsDecided returns how many log slots this replica has learned.
+// SlotsDecided returns how many global log slots this replica has passed
+// (learned or skipped via snapshot install); on a recycling store it
+// grows without bound.
 func (kv *KV) SlotsDecided() int {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	return kv.replica.SlotsDecided()
 }
 
-// LogFull reports whether every log slot has been decided and learned at
-// this replica, i.e. whether the store can accept no further writes. On
-// an unbatched log this is CommittedLen() == Capacity(); on a batched log
-// slots, not committed commands, are the exhaustible resource.
+// LogFull reports whether the store can accept no further writes: every
+// slot of a non-recycling log has been decided and learned at this
+// replica. A recycling store never fills; transient window backpressure
+// is WindowFull.
 func (kv *KV) LogFull() bool {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	return kv.replica.LogFull()
+}
+
+// WindowFull reports whether the replica sits at the end of the recycling
+// window, waiting for a checkpoint to be quorum-acknowledged before more
+// slots can decide. Always false on a non-recycling store.
+func (kv *KV) WindowFull() bool {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.replica.WindowFull()
 }
 
 // Batched reports whether the underlying log packs multi-command batches
@@ -200,6 +289,33 @@ func (kv *KV) Batched() bool { return kv.replica.log.Batched() }
 // MaxBatch returns the largest number of commands one consensus slot of
 // the underlying log may decide (1 on an unbatched log).
 func (kv *KV) MaxBatch() int { return kv.replica.log.MaxBatch() }
+
+// Recycling reports whether the underlying log checkpoints and recycles
+// slots, i.e. whether the store's write stream is unbounded.
+func (kv *KV) Recycling() bool { return kv.replica.log.Recycling() }
+
+// CheckpointEvery returns the log's sealing cadence in slots (0: off).
+func (kv *KV) CheckpointEvery() int { return kv.replica.log.CheckpointEvery() }
+
+// ReservesTopRow reports whether key 0xFFFF is reserved on this store
+// (the log is batched or checkpointing, so the descriptor row is
+// claimed).
+func (kv *KV) ReservesTopRow() bool { return kv.replica.log.ReservesTopRow() }
+
+// Checkpoints returns how many checkpoints this replica has passed.
+func (kv *KV) Checkpoints() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.replica.Checkpoints()
+}
+
+// SnapshotInstalls returns how many checkpoints this replica passed by
+// installing a published snapshot (the lagging-replica path).
+func (kv *KV) SnapshotInstalls() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.replica.SnapshotInstalls()
+}
 
 // PendingLen returns how many submitted commands are still waiting in the
 // replica's queue (neither committed nor dropped).
@@ -220,20 +336,26 @@ func (kv *KV) DropGeneration() uint64 {
 	return kv.replica.dropGen
 }
 
-// CommittedContainsAfter reports whether cmd appears in the replica's
-// committed prefix at slot index from or later — how a synchronous writer
+// CommittedContainsAfter reports whether cmd appears in the committed
+// stream at global index from or later — how a synchronous writer
 // observes that its own submission (not some identical historical
 // command) survived replication: it records the committed length before
 // submitting and scans only the entries appended after that watermark,
-// which also keeps the scan O(new entries) instead of O(log).
+// which also keeps the scan O(new entries) instead of O(log). Entries
+// summarized into a checkpoint cannot match (the writer resubmits;
+// duplicates apply idempotently).
 func (kv *KV) CommittedContainsAfter(from int, cmd uint32) bool {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	committed := kv.replica.committed
-	if from < 0 {
-		from = 0
+	base := kv.replica.committedBase
+	if from < base {
+		from = base
 	}
-	for _, c := range committed[min(from, len(committed)):] {
+	committed := kv.replica.committed
+	if from > base+len(committed) {
+		from = base + len(committed)
+	}
+	for _, c := range committed[from-base:] {
 		if c == cmd {
 			return true
 		}

@@ -51,6 +51,7 @@ const (
 
 // Hint is a Machine's answer to "when do you next need to run?".
 type Hint struct {
+	// Kind selects between WakeNow, WakeAt and WakePark.
 	Kind HintKind
 	// At is the wake deadline, valid when Kind == WakeAt. Live engines
 	// interpret it as nanoseconds since engine start; the sim as a virtual
@@ -72,6 +73,7 @@ func Park() Hint { return Hint{Kind: WakePark} }
 // an election process's main loop. Step runs one iteration at time now
 // and returns the machine's wake hint.
 type Machine interface {
+	// Step runs one iteration at time now and returns the wake hint.
 	Step(now vclock.Time) Hint
 }
 
@@ -82,6 +84,8 @@ type Machine interface {
 // Returning 0 disarms the timer permanently (the timer-free variant).
 type TimerMachine interface {
 	Machine
+	// OnTimer runs the expiry handler at time now and returns the next
+	// abstract timeout value (0 disarms the timer permanently).
 	OnTimer(now vclock.Time) (next uint64)
 }
 

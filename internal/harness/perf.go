@@ -111,6 +111,28 @@ type ShardedKVScalingPoint struct {
 	SpeedupVsOneShard float64 `json:"speedup_vs_one_shard"`
 }
 
+// KVSustainedPoint is one data point of the sustained-stream benchmark:
+// a default-options (checkpointing) store over a deliberately small slot
+// window serving a write stream many times its slot capacity, so the
+// measured rate includes the full seal/publish/ack/recycle cycle. A
+// fixed-capacity log would return ErrLogFull a tenth of the way in.
+type KVSustainedPoint struct {
+	Procs     int    `json:"procs"`
+	Substrate string `json:"substrate"`
+	// Slots is the log window; CheckpointEvery the sealing cadence.
+	Slots           int `json:"slots"`
+	CheckpointEvery int `json:"checkpoint_every"`
+	// TargetCommands is the stream length asked for (10x the window);
+	// Committed how many actually landed inside the measurement cap;
+	// Checkpoints how many seals the stream crossed.
+	TargetCommands int `json:"target_commands"`
+	Committed      int `json:"committed"`
+	Checkpoints    int `json:"checkpoints"`
+	// CommitsPerSec is the sustained committed-write rate across the
+	// whole stream, recycling included.
+	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
 // BenchReport is the envelope of a BENCH_*.json file.
 type BenchReport struct {
 	// Name identifies the benchmark ("census_contention", ...).

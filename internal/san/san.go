@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"omegasm/internal/shmem"
@@ -123,6 +124,18 @@ func (d *Disk) ReadBlock(name string) (seq, val uint64, err error) {
 	return b.seq, b.val, nil
 }
 
+// DeleteBlock frees the named block without latency (reclamation is a
+// background bookkeeping action, not a quorum operation). Deleting on a
+// crashed disk is a no-op. The name must never be written again: a
+// re-created block would restart its sequence numbering.
+func (d *Disk) DeleteBlock(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.crashed {
+		delete(d.blocks, name)
+	}
+}
+
 // WriteBlock stores (seq, value) if seq is newer, after the disk's
 // latency. Stale writes are ignored, which makes retries idempotent.
 func (d *Disk) WriteBlock(name string, seq, val uint64) error {
@@ -172,6 +185,26 @@ func (m *DiskMem) Word(owner int, class string, idx ...int) shmem.Reg {
 // Census returns the (process-level) access census.
 func (m *DiskMem) Census() *shmem.Census { return m.census }
 
+// Discard frees a dead register's disk blocks on every disk and drops
+// its census accounting — the sealed-slot reclamation a recycling log
+// performs once a checkpoint makes the register unreachable. The name is
+// never allocated again, so block deletion cannot alias a live register.
+// The register object itself is tombstoned: a stale holder that races
+// the reclamation (a lagging replica mid-step on a just-recycled slot)
+// gets no-op writes and zero reads instead of re-creating the deleted
+// blocks under a dead name.
+func (m *DiskMem) Discard(reg shmem.Reg) {
+	if r, ok := reg.(*sanReg); ok {
+		r.dead.Store(true)
+	}
+	for _, d := range m.disks {
+		d.DeleteBlock(reg.Name())
+	}
+	m.census.Forget(reg.Name())
+}
+
+var _ shmem.Discarder = (*DiskMem)(nil)
+
 // Quorum returns the majority size.
 func (m *DiskMem) Quorum() int { return len(m.disks)/2 + 1 }
 
@@ -192,6 +225,11 @@ type sanReg struct {
 	cacheSeq  uint64
 	cacheVal  uint64
 	cacheInit bool
+
+	// dead is set by DiskMem.Discard: the register was reclaimed and its
+	// blocks deleted. Stale holders' accesses become no-ops so they
+	// cannot re-create blocks under the dead name.
+	dead atomic.Bool
 }
 
 var _ shmem.Reg = (*sanReg)(nil)
@@ -204,6 +242,9 @@ func (r *sanReg) Name() string { return r.name }
 // register abstraction has no error channel, and losing the quorum is a
 // configuration breach in every experiment that uses the SAN.
 func (r *sanReg) Read(pid int) uint64 {
+	if r.dead.Load() {
+		return 0 // reclaimed register: nothing to read
+	}
 	type resp struct {
 		seq, val uint64
 		err      error
@@ -250,6 +291,9 @@ func (r *sanReg) Read(pid int) uint64 {
 func (r *sanReg) Write(pid int, v uint64) {
 	if r.owner != shmem.MultiWriter && pid != r.owner {
 		panic(fmt.Sprintf("san: process %d wrote 1WnR register %s owned by %d", pid, r.name, r.owner))
+	}
+	if r.dead.Load() {
+		return // reclaimed register: never re-create its deleted blocks
 	}
 	r.seqMu.Lock()
 	r.writerSeq++

@@ -47,6 +47,12 @@ func (m *AtomicMem) Word(owner int, class string, idx ...int) Reg {
 // Census returns the census (meaningful only when counting is enabled).
 func (m *AtomicMem) Census() *Census { return m.census }
 
+// Discard drops a dead register's census accounting (the word itself is
+// garbage-collected with the register object).
+func (m *AtomicMem) Discard(reg Reg) { m.census.Forget(reg.Name()) }
+
+var _ Discarder = (*AtomicMem)(nil)
+
 type atomicReg struct {
 	owner  int
 	name   string

@@ -132,6 +132,17 @@ func NewCensus(n int, clock func() int64) *Census {
 	return c
 }
 
+// Forget drops a register's accounting from the census. Recycling logs
+// call it (through Mem.Discard) for the per-epoch registers of sealed,
+// reclaimed slots, so a census over an unbounded write stream stays
+// bounded by the live window instead of growing with history. Forgetting
+// a register removes it from future Snapshots entirely.
+func (c *Census) Forget(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.regs, name)
+}
+
 // SetClock replaces the census timestamp source. The scheduler calls this
 // once it owns the memory.
 func (c *Census) SetClock(clock func() int64) {

@@ -57,6 +57,25 @@ type Mem interface {
 	Census() *Census
 }
 
+// Discarder is implemented by memories that can release a register's
+// backing resources (census accounting, disk blocks) once the register
+// is permanently dead. Recycling logs call it for the per-epoch
+// registers of sealed, reclaimed slots; the register's name must never
+// be allocated again afterwards. Memories without reclaimable backing
+// simply do not implement it.
+type Discarder interface {
+	// Discard releases reg's backing resources.
+	Discard(reg Reg)
+}
+
+// DiscardIfPossible releases reg's backing resources when mem supports
+// reclamation.
+func DiscardIfPossible(mem Mem, reg Reg) {
+	if d, ok := mem.(Discarder); ok {
+		d.Discard(reg)
+	}
+}
+
 // RegName renders the canonical display name of a register.
 func RegName(class string, idx ...int) string {
 	switch len(idx) {

@@ -35,6 +35,12 @@ func (m *SimMem) Word(owner int, class string, idx ...int) Reg {
 // Census returns the memory's access census.
 func (m *SimMem) Census() *Census { return m.census }
 
+// Discard drops a dead register's census accounting (the word itself is
+// garbage-collected with the register object).
+func (m *SimMem) Discard(reg Reg) { m.census.Forget(reg.Name()) }
+
+var _ Discarder = (*SimMem)(nil)
+
 type simReg struct {
 	owner  int
 	name   string

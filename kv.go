@@ -18,29 +18,67 @@ import (
 // across anarchy periods itself.
 var ErrNoLeader = errors.New("omegasm: no agreed leader")
 
-// ErrLogFull is returned when the replicated log has decided every slot;
-// the store keeps serving reads but accepts no further writes.
+// ErrLogFull is returned when a replicated log with checkpointing
+// disabled (KVCheckpointEvery(0)) has decided every slot; the store keeps
+// serving reads but accepts no further writes. Under default options the
+// log checkpoints and recycles slots, so writes never return ErrLogFull.
 var ErrLogFull = errors.New("omegasm: replicated log is full")
 
 // KVOption configures NewKV.
 type KVOption func(*kvSettings) error
+
+// ckptAuto is the sentinel for "checkpoint cadence not chosen": NewKV
+// derives it from the slot count.
+const ckptAuto = -1
 
 type kvSettings struct {
 	slots    int
 	interval time.Duration
 	burst    int
 	batch    int
+	ckpt     int
 }
 
-// KVSlots sets the replicated log's capacity in commands (default 1024).
-// Each slot pre-allocates one consensus instance (3 registers per
-// process) on the cluster's substrate.
+// KVSlots sets the replicated log's slot capacity (default 1024). Each
+// slot pre-allocates one consensus instance (3 registers per process) on
+// the cluster's substrate. With checkpointing on (the default) the slots
+// form a recycling window and bound only the in-flight portion of the
+// write stream; with KVCheckpointEvery(0) they are the store's total
+// write capacity.
 func KVSlots(n int) KVOption {
 	return func(s *kvSettings) error {
 		if n < 1 {
 			return fmt.Errorf("omegasm: need at least 1 log slot, got %d", n)
 		}
 		s.slots = n
+		return nil
+	}
+}
+
+// KVCheckpointEvery sets how many decided slots separate the leader's
+// checkpoint proposals (default: a quarter of the slot count). Every
+// checkpoint seals the log prefix into a snapshot of the store's state,
+// published to immutable per-epoch register areas on the cluster's
+// substrate; once a quorum of replicas has durably acknowledged passing
+// it, the sealed slots are recycled and reused for new proposals — so
+// the write stream is unbounded and Put/PutAll never return ErrLogFull.
+// A replica that falls behind the recycled window (a restarted or long-
+// parked laggard) installs the latest snapshot instead of replaying.
+//
+// KVCheckpointEvery(0) disables checkpointing: the log is a fixed array
+// that fills permanently after KVSlots writes, exactly the pre-recycling
+// behavior, and ErrLogFull returns. The price of checkpointing is the
+// reserved key row 0xFFFF (checkpoint descriptors claim the top row of
+// the command space, as batch descriptors do) and a cap of 16 processes;
+// clusters above 16 processes fall back to checkpointing off unless a
+// cadence is set explicitly. n must be below the slot count, so the
+// checkpoint command itself always fits the window.
+func KVCheckpointEvery(n int) KVOption {
+	return func(s *kvSettings) error {
+		if n < 0 {
+			return fmt.Errorf("omegasm: checkpoint interval must not be negative, got %d", n)
+		}
+		s.ckpt = n
 		return nil
 	}
 }
@@ -106,10 +144,21 @@ type Entry struct {
 // built on (atomic registers or the SAN).
 //
 // Writes route to the replica the oracle names leader and are committed
-// by consensus, so they survive any minority of process crashes (and, on
-// the SAN, any minority of disk crashes); after a leader crash the store
-// resumes as soon as the survivors re-elect. Reads are served from the
-// local applied state — sequential consistency, not linearizability.
+// by consensus, so a committed write survives any minority of process
+// crashes (and, on the SAN, any minority of disk crashes) — including
+// across log recycling: a checkpoint's snapshot is durably published on
+// the substrate before the slots it seals can be reused, so every
+// committed write is always reconstructible from either a live slot or
+// the newest snapshot. After a leader crash the store resumes as soon as
+// the survivors re-elect. Reads are served from the local applied state —
+// sequential consistency, not linearizability.
+//
+// Under default options the log checkpoints (KVCheckpointEvery): the
+// leader periodically seals the committed prefix into a published
+// snapshot, a quorum acknowledges it, and the sealed slots recycle — so
+// the write stream is unbounded and KVSlots bounds only the in-flight
+// window. Disable with KVCheckpointEvery(0) to restore the fixed-capacity
+// log and its ErrLogFull semantics.
 //
 // Replication is wake-driven: each replica is an engine machine that
 // parks when idle, is woken the moment a write is enqueued for it (Put
@@ -202,7 +251,13 @@ func (m *kvMachine) Step(now vclock.Time) engine.Hint {
 		return engine.Now()
 	}
 	if pending > 0 {
-		if agreed && leader == m.idx && !m.store.LogFull() {
+		// A leader with queued work drains at CPU speed — unless the log
+		// can make no progress: permanently full (checkpointing off), or
+		// the recycling window is exhausted until a checkpoint gathers its
+		// ack quorum, in which case stepping would only spin. The fallback
+		// cadence re-checks the acks (the stepped replica reads them and
+		// slides the window itself).
+		if agreed && leader == m.idx && !m.store.LogFull() && !m.store.WindowFull() {
 			return engine.Now()
 		}
 		return engine.At(now + int64(kv.interval))
@@ -220,7 +275,7 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 	if c == nil {
 		return nil, fmt.Errorf("omegasm: nil cluster")
 	}
-	set := &kvSettings{slots: 1024, interval: c.stepInterval(), burst: 8, batch: 1}
+	set := &kvSettings{slots: 1024, interval: c.stepInterval(), burst: 8, batch: 1, ckpt: ckptAuto}
 	if c.DiskCount() > 0 {
 		set.burst = 2 // SAN steps cost quorum I/O; idle bursts are not free
 	}
@@ -236,6 +291,22 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 		return nil, fmt.Errorf("omegasm: KV batching supports at most %d processes, got %d",
 			consensus.MaxBatchProcs, c.N())
 	}
+	if set.ckpt == ckptAuto {
+		// Default on: seal every quarter window. Configurations that cannot
+		// checkpoint (a 1-slot log, more processes than descriptors can
+		// name) silently keep the fixed-capacity log instead of erroring.
+		set.ckpt = consensus.DefaultCheckpointEvery(set.slots, c.N())
+	}
+	if set.ckpt > 0 {
+		if c.N() > consensus.MaxBatchProcs {
+			return nil, fmt.Errorf("omegasm: KV checkpointing supports at most %d processes, got %d",
+				consensus.MaxBatchProcs, c.N())
+		}
+		if set.ckpt >= set.slots {
+			return nil, fmt.Errorf("omegasm: checkpoint interval %d must be below the %d-slot window",
+				set.ckpt, set.slots)
+		}
+	}
 	c.svcMu.Lock()
 	if c.kvTaken {
 		c.svcMu.Unlock()
@@ -245,7 +316,7 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 	c.svcMu.Unlock()
 
 	n := c.N()
-	log, err := consensus.NewBatchLog(c.mem, n, set.slots, set.batch)
+	log, err := consensus.NewCheckpointLog(c.mem, n, set.slots, set.batch, set.ckpt)
 	if err != nil {
 		return nil, fmt.Errorf("omegasm: %w", err)
 	}
@@ -334,8 +405,9 @@ func (kv *KV) readStore() *consensus.KV {
 // Set queues one write on the current leader's replica and returns
 // without waiting for commit — fire and forget. It errors with
 // ErrNoLeader during anarchy periods (no agreed live leader to route to)
-// and ErrLogFull once the leader has learned every log slot decided;
-// reserved pairs (see Entry) error synchronously. Set never retries: a
+// and — only when checkpointing is disabled — ErrLogFull once the leader
+// has learned every log slot decided; reserved pairs (see Entry) error
+// synchronously. Set never retries: a
 // nil return means the write was queued, not committed, and the write is
 // silently lost if the leader crashes — or is merely demoted — before
 // committing it, because a replica sheds its uncommitted queue the moment
@@ -387,20 +459,22 @@ func (kv *KV) Put(ctx context.Context, key, val uint16) error {
 // before everything lands. Re-submission can commit an entry into more
 // than one slot; the store applies sets idempotently, so duplicates only
 // spend log capacity. PutAll returns ctx's error on cancellation, the
-// reserved-pair error synchronously (committing nothing), and ErrLogFull
-// if the log fills before the whole group commits.
+// reserved-pair error synchronously (committing nothing), and — only when
+// checkpointing is disabled — ErrLogFull if the fixed log fills before
+// the whole group commits. With checkpointing (the default) the stream is
+// unbounded: window backpressure paces the call, it never fails it.
 func (kv *KV) PutAll(ctx context.Context, entries ...Entry) error {
 	if len(entries) == 0 {
 		return nil
 	}
-	batched := kv.stores[0].Batched()
+	claimed := kv.stores[0].ReservesTopRow()
 	// remaining holds the deduplicated commands still waiting for commit,
 	// in submission order (resubmissions preserve it).
 	remaining := make([]uint32, 0, len(entries))
 	seen := make(map[uint32]bool, len(entries))
 	for _, e := range entries {
 		cmd := consensus.EncodeSet(e.Key, e.Val)
-		if consensus.IsReserved(cmd, batched) {
+		if consensus.IsReserved(cmd, claimed) {
 			return fmt.Errorf("omegasm: key/value pair (0x%04x, 0x%04x) is reserved", e.Key, e.Val)
 		}
 		if !seen[cmd] {
@@ -411,14 +485,16 @@ func (kv *KV) PutAll(ctx context.Context, entries ...Entry) error {
 	// Commit watermarks: only entries a replica appends from here on can
 	// acknowledge this call. Each appended region is scanned exactly once
 	// (the watermark advances past it), so a long-lived call stays
-	// O(new commits), not O(log).
+	// O(new commits), not O(log). If a checkpoint summarizes entries away
+	// before they are scanned, they simply never confirm and the remainder
+	// is resubmitted — duplicates apply idempotently.
 	marks := make([]int, len(kv.stores))
 	for i, s := range kv.stores {
 		marks[i] = s.CommittedLen()
 	}
 	confirm := func(i int) {
-		suffix := kv.stores[i].CommittedSince(marks[i])
-		marks[i] += len(suffix)
+		suffix, next := kv.stores[i].TailSince(marks[i])
+		marks[i] = next
 		for _, c := range suffix {
 			if seen[c] {
 				delete(seen, c)
@@ -503,13 +579,16 @@ func (kv *KV) Applied() int { return kv.readStore().Applied() }
 // Snapshot returns a copy of the applied state.
 func (kv *KV) Snapshot() map[uint16]uint16 { return kv.readStore().Snapshot() }
 
-// Capacity returns the replicated log's total slot count. On a batched
-// store one slot commits up to BatchSize writes, so the write capacity in
-// commands is up to Capacity() * BatchSize().
+// Capacity returns the slot count of the replicated log's window. With
+// checkpointing on (the default) this bounds only the in-flight portion
+// of the stream — total write capacity is unbounded; with
+// KVCheckpointEvery(0) it is the store's total capacity. On a batched
+// store one slot commits up to BatchSize writes.
 func (kv *KV) Capacity() int { return kv.stores[0].Capacity() }
 
 // SlotsUsed returns how many consensus slots the reading replica has
-// learned. On a batched store this lags Applied by the batching factor —
+// passed; on a checkpointing store it grows past Capacity as slots
+// recycle. On a batched store this lags Applied by the batching factor —
 // the ratio Applied()/SlotsUsed() is the measured average batch size.
 func (kv *KV) SlotsUsed() int { return kv.readStore().SlotsDecided() }
 
@@ -520,3 +599,12 @@ func (kv *KV) Batched() bool { return kv.stores[0].Batched() }
 // BatchSize returns how many queued writes one consensus slot may commit
 // (1: batching off).
 func (kv *KV) BatchSize() int { return kv.stores[0].MaxBatch() }
+
+// CheckpointEvery returns how many decided slots separate checkpoint
+// seals (0: checkpointing off, the log fills permanently).
+func (kv *KV) CheckpointEvery() int { return kv.stores[0].CheckpointEvery() }
+
+// Checkpoints returns how many checkpoints the reading replica has
+// passed — the number of times a log prefix was sealed into a snapshot
+// and its slots recycled.
+func (kv *KV) Checkpoints() int { return kv.readStore().Checkpoints() }

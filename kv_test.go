@@ -173,14 +173,16 @@ func TestKVValidation(t *testing.T) {
 	}
 }
 
-// TestKVLogFull exhausts a tiny log and checks writes fail cleanly while
-// reads keep working.
+// TestKVLogFull is the regression gate for disabled checkpointing: with
+// KVCheckpointEvery(0) the log is the old fixed array — it exhausts after
+// KVSlots writes and fails cleanly with ErrLogFull while reads keep
+// working, exactly the pre-recycling behavior.
 func TestKVLogFull(t *testing.T) {
 	c := startCluster(t, fastOpts(3)...)
 	if _, ok := c.WaitForAgreement(10 * time.Second); !ok {
 		t.Fatal("no agreement")
 	}
-	kv, err := omegasm.NewKV(c, omegasm.KVSlots(4))
+	kv, err := omegasm.NewKV(c, omegasm.KVSlots(4), omegasm.KVCheckpointEvery(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,6 +202,49 @@ func TestKVLogFull(t *testing.T) {
 	}
 	if v, ok := kv.Get(2); !ok || v != 2 {
 		t.Errorf("read after log full: %d, %v", v, ok)
+	}
+	if kv.CheckpointEvery() != 0 || kv.Checkpoints() != 0 {
+		t.Error("checkpoint machinery engaged despite KVCheckpointEvery(0)")
+	}
+}
+
+// TestKVSustainedStream is the unbounded-stream acceptance scenario: a
+// default-options store (checkpointing on) pushes a write stream 10x its
+// slot window with no ErrLogFull, recycling slots across multiple
+// checkpoints, and the final state reads back exactly.
+func TestKVSustainedStream(t *testing.T) {
+	c := startCluster(t, fastOpts(3)...)
+	if _, ok := c.WaitForAgreement(10 * time.Second); !ok {
+		t.Fatal("no agreement")
+	}
+	const slots = 32
+	kv, err := omegasm.NewKV(c, omegasm.KVSlots(slots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if kv.CheckpointEvery() != slots/4 {
+		t.Fatalf("CheckpointEvery() = %d, want the %d default", kv.CheckpointEvery(), slots/4)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const writes = 10 * slots
+	for k := 0; k < writes; k++ {
+		if err := kv.Put(ctx, uint16(k%16), uint16(k)); err != nil {
+			t.Fatalf("put %d of a 10x-capacity stream: %v", k, err)
+		}
+	}
+	for k := uint16(0); k < 16; k++ {
+		want := uint16(writes - 16 + int(k)) // the last write of each key
+		if v, ok := kv.Get(k); !ok || v != want {
+			t.Errorf("Get(%d) = (%d, %v), want %d", k, v, ok, want)
+		}
+	}
+	if kv.SlotsUsed() <= slots {
+		t.Fatalf("SlotsUsed() = %d over a %d-slot window: recycling never engaged", kv.SlotsUsed(), slots)
+	}
+	if kv.Checkpoints() < 3 {
+		t.Fatalf("only %d checkpoints over a 10x stream", kv.Checkpoints())
 	}
 }
 

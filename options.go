@@ -38,11 +38,13 @@ type settings struct {
 	overrides       []clusterOverride
 	fleetOpts       []string // fleet-only options seen; New rejects them
 
-	// Sharded-store-level (NewShardedKV only).
-	shards      int
-	batchSize   int
-	shardSlots  int
-	shardedOpts []string // sharded-only options seen; New and NewFleet reject them
+	// Sharded-store-level (NewShardedKV only). checkpointEvery keeps the
+	// ckptAuto sentinel until WithCheckpointEvery chooses a cadence.
+	shards          int
+	batchSize       int
+	shardSlots      int
+	checkpointEvery int
+	shardedOpts     []string // sharded-only options seen; New and NewFleet reject them
 
 	// inOverride is true while a WithClusterOptions list is applied, so
 	// fleet-only options can reject nesting.
@@ -58,10 +60,11 @@ type clusterOverride struct {
 // default: WithN is required.
 func newSettings() *settings {
 	return &settings{
-		algorithm: WriteEfficient,
-		substrate: Atomic(),
-		clusters:  1,
-		shards:    1,
+		algorithm:       WriteEfficient,
+		substrate:       Atomic(),
+		clusters:        1,
+		shards:          1,
+		checkpointEvery: ckptAuto,
 	}
 }
 
@@ -303,6 +306,29 @@ func WithShardSlots(n int) Option {
 		}
 		set.shardSlots = n
 		set.shardedOpts = append(set.shardedOpts, "WithShardSlots")
+		return nil
+	}
+}
+
+// WithCheckpointEvery sets each shard's checkpoint cadence: every n
+// decided slots the shard's leader seals the log prefix into a published
+// snapshot, and once a quorum acknowledges it the sealed slots recycle —
+// so the shard's write stream is unbounded (the default cadence is a
+// quarter of the shard's slot window). WithCheckpointEvery(0) disables
+// checkpointing: each shard's log is then a fixed array that fills
+// permanently after WithShardSlots slots, restoring ErrLogFull. n must
+// be below the shard slot count. NewShardedKV-only; for a standalone KV
+// pass KVCheckpointEvery to NewKV instead.
+func WithCheckpointEvery(n int) Option {
+	return func(set *settings) error {
+		if set.inOverride {
+			return fmt.Errorf("omegasm: WithCheckpointEvery is not allowed inside WithClusterOptions")
+		}
+		if n < 0 {
+			return fmt.Errorf("omegasm: checkpoint interval must not be negative, got %d", n)
+		}
+		set.checkpointEvery = n
+		set.shardedOpts = append(set.shardedOpts, "WithCheckpointEvery")
 		return nil
 	}
 }

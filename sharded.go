@@ -29,14 +29,21 @@ const DefaultBatchSize = 32
 //     round — and its quorum I/O on the SAN substrate — is amortized
 //     across the whole batch.
 //
+// Shard logs checkpoint by default (WithCheckpointEvery): each shard's
+// leader periodically seals its log prefix into a published snapshot and
+// the sealed slots recycle, so every shard's write stream — and therefore
+// the store's — is unbounded; WithShardSlots bounds only the in-flight
+// window per shard.
+//
 // Routing is static: ShardFor hashes the key, so no directory service and
 // no cross-shard coordination exist. The price is the consistency scope —
 // each shard is sequentially consistent on its own log, and a cross-shard
 // MultiPut is not atomic: it fans out per shard in parallel and some
 // shards may commit before others (each shard's group, though, commits
-// through its log like any Put). Keys on batched shards exclude 0xFFFF
-// (see KVBatch); WithBatchSize(1) disables batching and restores the full
-// key space.
+// through its log like any Put). Keys on batched or checkpointing shards
+// exclude 0xFFFF (the descriptor row; see KVBatch and KVCheckpointEvery);
+// WithBatchSize(1) plus WithCheckpointEvery(0) restores the full key
+// space.
 //
 // A ShardedKV owns its Fleet: build with NewShardedKV, run with Start,
 // free with Close. The Fleet accessor exposes the underlying clusters for
@@ -77,7 +84,11 @@ func NewShardedKV(opts ...Option) (*ShardedKV, error) {
 	}
 	skv := &ShardedKV{fleet: f, batch: s.batchSize}
 	for i := 0; i < f.Clusters(); i++ {
-		kv, err := NewKV(f.Cluster(i), KVSlots(s.shardSlots), KVBatch(s.batchSize))
+		kvOpts := []KVOption{KVSlots(s.shardSlots), KVBatch(s.batchSize)}
+		if s.checkpointEvery != ckptAuto {
+			kvOpts = append(kvOpts, KVCheckpointEvery(s.checkpointEvery))
+		}
+		kv, err := NewKV(f.Cluster(i), kvOpts...)
 		if err != nil {
 			skv.Close()
 			return nil, fmt.Errorf("omegasm: shard %d: %w", i, err)
@@ -115,6 +126,21 @@ func (s *ShardedKV) Shards() int { return len(s.kvs) }
 
 // BatchSize returns the per-shard proposal batch size (1: batching off).
 func (s *ShardedKV) BatchSize() int { return s.batch }
+
+// CheckpointEvery returns the per-shard checkpoint cadence in slots (0:
+// checkpointing off, shard logs fill permanently).
+func (s *ShardedKV) CheckpointEvery() int { return s.kvs[0].CheckpointEvery() }
+
+// Checkpoints returns the total number of checkpoints passed across the
+// shards' reading replicas — how many times shard log prefixes have been
+// sealed and their slots recycled.
+func (s *ShardedKV) Checkpoints() int {
+	total := 0
+	for _, kv := range s.kvs {
+		total += kv.Checkpoints()
+	}
+	return total
+}
 
 // Fleet returns the underlying fleet, for fault injection (Crash,
 // CrashDisk via Cluster) and inspection (Leader, Stats). The fleet is
@@ -241,9 +267,11 @@ func (s *ShardedKV) Applied() int {
 	return total
 }
 
-// Capacity returns the total consensus-slot capacity across shards. With
-// batching each slot commits up to BatchSize writes, so the store's write
-// capacity in commands is up to Capacity() * BatchSize().
+// Capacity returns the total consensus-slot window capacity across
+// shards. With checkpointing on (the default) this bounds only the
+// in-flight portion of each shard's stream — total write capacity is
+// unbounded; with WithCheckpointEvery(0) it is the store's total
+// capacity (times BatchSize with batching).
 func (s *ShardedKV) Capacity() int {
 	total := 0
 	for _, kv := range s.kvs {

@@ -25,7 +25,8 @@ func TestSimShardedKVValidation(t *testing.T) {
 	}); err == nil {
 		t.Error("crashing a whole shard accepted")
 	}
-	// Batched runs reserve the key 0xFFFF row; unbatched runs accept it.
+	// Batched or checkpointing runs reserve the key 0xFFFF row; only a run
+	// with both off accepts it.
 	if _, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
 		Shards: 2, N: 3, Writes: []omegasm.SimWrite{{At: 1, Key: 0xFFFF, Val: 1}},
 	}); err == nil {
@@ -34,8 +35,14 @@ func TestSimShardedKVValidation(t *testing.T) {
 	if _, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
 		Shards: 2, N: 3, BatchSize: 1, Horizon: 1000,
 		Writes: []omegasm.SimWrite{{At: 1, Key: 0xFFFF, Val: 1}},
+	}); err == nil {
+		t.Error("reserved key accepted on a checkpointing run")
+	}
+	if _, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
+		Shards: 2, N: 3, BatchSize: 1, CheckpointEvery: -1, Horizon: 1000,
+		Writes: []omegasm.SimWrite{{At: 1, Key: 0xFFFF, Val: 1}},
 	}); err != nil {
-		t.Errorf("key 0xFFFF rejected on an unbatched run: %v", err)
+		t.Errorf("key 0xFFFF rejected on a plain fixed-capacity run: %v", err)
 	}
 	if _, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
 		Shards: 1, N: 17,

@@ -45,6 +45,17 @@ func TestShardedKVValidation(t *testing.T) {
 		omegasm.WithShardSlots(0)); err == nil {
 		t.Error("0 shard slots accepted")
 	}
+	if _, err := omegasm.NewShardedKV(omegasm.WithShards(2), omegasm.WithN(3),
+		omegasm.WithCheckpointEvery(-1)); err == nil {
+		t.Error("negative checkpoint interval accepted")
+	}
+	if _, err := omegasm.NewShardedKV(omegasm.WithShards(2), omegasm.WithN(3),
+		omegasm.WithShardSlots(16), omegasm.WithCheckpointEvery(16)); err == nil {
+		t.Error("checkpoint interval equal to the shard window accepted")
+	}
+	if _, err := omegasm.New(omegasm.WithN(3), omegasm.WithCheckpointEvery(8)); err == nil {
+		t.Error("WithCheckpointEvery accepted by New")
+	}
 	if _, err := omegasm.NewShardedKV(omegasm.WithClusters(2), omegasm.WithN(3)); err == nil {
 		t.Error("WithClusters accepted by NewShardedKV")
 	}
@@ -70,6 +81,50 @@ func TestShardedKVValidation(t *testing.T) {
 		t.Errorf("17 processes rejected with batching off: %v", err)
 	} else {
 		s.Close()
+	}
+}
+
+// TestShardedKVSustainedStream pushes a stream several times the store's
+// total slot capacity through tiny per-shard windows: per-shard
+// checkpointing (on by default) must recycle each shard's log so no
+// write ever sees ErrLogFull, and the final state reads back exactly.
+func TestShardedKVSustainedStream(t *testing.T) {
+	const (
+		shards = 2
+		slots  = 32
+	)
+	s := startSharded(t, append(shardedOpts(shards, 3),
+		omegasm.WithShardSlots(slots), omegasm.WithBatchSize(4))...)
+	if s.CheckpointEvery() != slots/4 {
+		t.Fatalf("CheckpointEvery() = %d, want the %d default", s.CheckpointEvery(), slots/4)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	writes := 10 * s.Capacity()
+	if testing.Short() {
+		writes = 4 * s.Capacity()
+	}
+	const group = 64
+	for done := 0; done < writes; {
+		n := min(group, writes-done)
+		entries := make([]omegasm.Entry, n)
+		for j := range entries {
+			k := done + j
+			entries[j] = omegasm.Entry{Key: uint16(k % 100), Val: uint16(k)}
+		}
+		if err := s.MultiPut(ctx, entries...); err != nil {
+			t.Fatalf("write %d of a sustained stream: %v", done, err)
+		}
+		done += n
+	}
+	for k := 0; k < 100; k++ {
+		want := uint16(writes - 1 - (writes-1-k)%100)
+		if v, ok := s.Get(uint16(k)); !ok || v != want {
+			t.Errorf("Get(%d) = (%d, %v), want %d", k, v, ok, want)
+		}
+	}
+	if s.Checkpoints() < 2 {
+		t.Fatalf("only %d checkpoints across %d shards over a sustained stream", s.Checkpoints(), shards)
 	}
 }
 

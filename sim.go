@@ -45,8 +45,15 @@ type SimKVConfig struct {
 	Horizon int64
 	// Algorithm selects the election algorithm; default WriteEfficient.
 	Algorithm Algorithm
-	// Slots is the replicated log's capacity; default 256.
+	// Slots is the replicated log's slot window; default 256. With
+	// checkpointing (the default) it bounds only the in-flight portion of
+	// the stream; with checkpointing disabled it is the total capacity.
 	Slots int
+	// CheckpointEvery is the sealing cadence in slots, mirroring
+	// KVCheckpointEvery: 0 picks the default (a quarter of Slots), a
+	// negative value disables checkpointing and restores the
+	// fixed-capacity log.
+	CheckpointEvery int
 	// Crashes maps pid -> virtual crash time: the process (its election
 	// tasks and its replica) is permanently descheduled at that time, the
 	// paper's crash-stop failure. At least one process must survive to
@@ -60,13 +67,28 @@ type SimKVConfig struct {
 // SimKVResult is the outcome of a simulated run. For a fixed SimKVConfig
 // every field is reproducible run over run.
 type SimKVResult struct {
-	// Committed is the replicated log's committed history in log order,
-	// taken from the longest committed prefix among live replicas (all
-	// live replicas' prefixes agree; this is consensus's safety). Retries
-	// across failovers may commit a command more than once; the store
-	// applies duplicates idempotently.
+	// Committed is the retained committed history in log order, taken
+	// from the freshest live replica (all live replicas' streams agree on
+	// their common prefix; this is consensus's safety). On a checkpointing
+	// run it is the tail since that replica's last fully-applied
+	// checkpoint — the sealed prefix is summarized by CommittedTotal and
+	// reflected in State. Retries across failovers may commit a command
+	// more than once; the store applies duplicates idempotently.
 	Committed []SimCommit
-	// State is the key-value state after applying Committed in order.
+	// CommittedTotal is the full committed-stream length of the freshest
+	// live replica, including commands summarized away by checkpoints
+	// (equal to len(Committed) when checkpointing never sealed).
+	CommittedTotal int
+	// Checkpoints is how many checkpoints the freshest live replica
+	// passed; SnapshotInstalls counts the ones it passed by installing a
+	// published snapshot rather than replaying.
+	Checkpoints int
+	// SnapshotInstalls counts snapshot installs at the freshest live
+	// replica (see Checkpoints).
+	SnapshotInstalls int
+	// State is the freshest live replica's applied key-value state (the
+	// last write per key of the committed stream, checkpointed prefix
+	// included).
 	State map[uint16]uint16
 	// Delivered counts workload writes whose commit was confirmed before
 	// the horizon.
@@ -83,12 +105,15 @@ type SimKVResult struct {
 	End int64
 }
 
-func (cfg *SimKVConfig) normalize() error {
+// normalize fills the config's defaults and returns the validated shard
+// configuration the run executes — the same value, so what was validated
+// is exactly what runs.
+func (cfg *SimKVConfig) normalize() (simShardConfig, error) {
 	if cfg.Horizon == 0 {
 		cfg.Horizon = 500_000
 	}
 	if cfg.Horizon < 0 {
-		return fmt.Errorf("omegasm: sim horizon must be positive, got %d", cfg.Horizon)
+		return simShardConfig{}, fmt.Errorf("omegasm: sim horizon must be positive, got %d", cfg.Horizon)
 	}
 	if cfg.Algorithm == 0 {
 		cfg.Algorithm = WriteEfficient
@@ -101,10 +126,24 @@ func (cfg *SimKVConfig) normalize() error {
 		algorithm: cfg.Algorithm,
 		slots:     cfg.Slots,
 		batch:     1,
+		ckptEvery: resolveSimCkpt(cfg.CheckpointEvery, cfg.Slots, cfg.N),
 		crashes:   cfg.Crashes,
 		writes:    cfg.Writes,
 	}
-	return shard.validate()
+	return shard, shard.validate()
+}
+
+// resolveSimCkpt maps the public checkpoint knob (0: default cadence,
+// negative: off) onto the resolved per-shard value, sharing NewKV's auto
+// rule so the simulator always models the live store's defaults.
+func resolveSimCkpt(every, slots, n int) int {
+	if every < 0 {
+		return 0
+	}
+	if every == 0 {
+		return consensus.DefaultCheckpointEvery(slots, n)
+	}
+	return every
 }
 
 // simShardConfig is the resolved per-shard configuration the builders
@@ -114,6 +153,7 @@ type simShardConfig struct {
 	algorithm Algorithm
 	slots     int
 	batch     int
+	ckptEvery int // resolved: 0 means off
 	crashes   map[int]int64
 	writes    []SimWrite
 	// window, when positive, adds a closed-loop load generator that keeps
@@ -138,6 +178,14 @@ func (c *simShardConfig) validate() error {
 	if c.batch > 1 && c.n > consensus.MaxBatchProcs {
 		return fmt.Errorf("omegasm: sim batching supports at most %d processes, got %d", consensus.MaxBatchProcs, c.n)
 	}
+	if c.ckptEvery > 0 {
+		if c.n > consensus.MaxBatchProcs {
+			return fmt.Errorf("omegasm: sim checkpointing supports at most %d processes, got %d", consensus.MaxBatchProcs, c.n)
+		}
+		if c.ckptEvery >= c.slots {
+			return fmt.Errorf("omegasm: sim checkpoint interval %d must be below the %d-slot window", c.ckptEvery, c.slots)
+		}
+	}
 	for p, t := range c.crashes {
 		if p < 0 || p >= c.n {
 			return fmt.Errorf("omegasm: crash schedule names process %d of %d", p, c.n)
@@ -150,7 +198,7 @@ func (c *simShardConfig) validate() error {
 		return fmt.Errorf("omegasm: crash schedule kills all %d processes; at least one must survive", c.n)
 	}
 	for _, wr := range c.writes {
-		if consensus.IsReserved(consensus.EncodeSet(wr.Key, wr.Val), c.batch > 1) {
+		if consensus.IsReserved(consensus.EncodeSet(wr.Key, wr.Val), c.batch > 1 || c.ckptEvery > 0) {
 			return fmt.Errorf("omegasm: key/value pair (0x%04x, 0x%04x) is reserved", wr.Key, wr.Val)
 		}
 		if wr.At < 0 {
@@ -434,7 +482,7 @@ func addSimShard(sim *engine.Sim, cfg simShardConfig) (*simRun, error) {
 		sim.Add(simProcMachine{p: run.procs[p]}, opts...)
 	}
 
-	log, err := consensus.NewBatchLog(mem, n, cfg.slots, cfg.batch)
+	log, err := consensus.NewCheckpointLog(mem, n, cfg.slots, cfg.batch, cfg.ckptEvery)
 	if err != nil {
 		return nil, fmt.Errorf("omegasm: sim log: %w", err)
 	}
@@ -486,7 +534,7 @@ func (r *simRun) collect(end vclock.Time) *SimKVResult {
 	if r.writer != nil {
 		res.Delivered = r.writer.delivered
 	}
-	var longest []uint32
+	freshest := -1
 	for p := 0; p < n; p++ {
 		if !r.live(p, end) {
 			res.Crashed[p] = true
@@ -494,15 +542,21 @@ func (r *simRun) collect(end vclock.Time) *SimKVResult {
 			continue
 		}
 		res.Leaders[p] = r.procs[p].Leader()
-		if c := r.kvs[p].Committed(); len(c) > len(longest) {
-			longest = c
-			res.SlotsUsed = r.kvs[p].SlotsDecided()
+		if freshest < 0 || r.kvs[p].CommittedLen() > r.kvs[freshest].CommittedLen() {
+			freshest = p
 		}
 	}
-	for _, cmd := range longest {
-		k, v := consensus.DecodeSet(cmd)
-		res.Committed = append(res.Committed, SimCommit{Key: k, Val: v})
-		res.State[k] = v
+	if freshest >= 0 {
+		kv := r.kvs[freshest]
+		res.CommittedTotal = kv.CommittedLen()
+		res.SlotsUsed = kv.SlotsDecided()
+		res.Checkpoints = kv.Checkpoints()
+		res.SnapshotInstalls = kv.SnapshotInstalls()
+		for _, cmd := range kv.Committed() {
+			k, v := consensus.DecodeSet(cmd)
+			res.Committed = append(res.Committed, SimCommit{Key: k, Val: v})
+		}
+		res.State = kv.Snapshot()
 	}
 	return res
 }
@@ -514,21 +568,15 @@ func (r *simRun) collect(end vclock.Time) *SimKVResult {
 // with another seed, diff the histories — that the live runtime can only
 // approximate statistically.
 func SimKV(cfg SimKVConfig) (*SimKVResult, error) {
-	if err := cfg.normalize(); err != nil {
+	shard, err := cfg.normalize()
+	if err != nil {
 		return nil, err
 	}
 	sim, err := engine.NewSim(engine.SimConfig{Seed: cfg.Seed, Horizon: cfg.Horizon})
 	if err != nil {
 		return nil, err
 	}
-	run, err := addSimShard(sim, simShardConfig{
-		n:         cfg.N,
-		algorithm: cfg.Algorithm,
-		slots:     cfg.Slots,
-		batch:     1,
-		crashes:   cfg.Crashes,
-		writes:    cfg.Writes,
-	})
+	run, err := addSimShard(sim, shard)
 	if err != nil {
 		return nil, err
 	}
@@ -570,6 +618,10 @@ type SimShardedKVConfig struct {
 	// DefaultBatchSize, 1 turns batching off. Batched runs reserve the
 	// key 0xFFFF row, as ShardedKV does.
 	BatchSize int
+	// CheckpointEvery is each shard's sealing cadence in slots, mirroring
+	// WithCheckpointEvery: 0 picks the default (a quarter of Slots), a
+	// negative value disables checkpointing (fixed-capacity shard logs).
+	CheckpointEvery int
 	// Crashes is the cross-shard crash schedule. At least one process per
 	// shard must survive.
 	Crashes []SimShardCrash
@@ -632,6 +684,7 @@ func (cfg *SimShardedKVConfig) normalize() ([]simShardConfig, error) {
 			algorithm: cfg.Algorithm,
 			slots:     cfg.Slots,
 			batch:     cfg.BatchSize,
+			ckptEvery: resolveSimCkpt(cfg.CheckpointEvery, cfg.Slots, cfg.N),
 			crashes:   map[int]int64{},
 			window:    cfg.SaturateWindow,
 		}
@@ -684,7 +737,7 @@ func SimShardedKV(cfg SimShardedKVConfig) (*SimShardedKVResult, error) {
 	for _, run := range runs {
 		sr := run.collect(end)
 		res.Shards = append(res.Shards, *sr)
-		res.TotalCommitted += len(sr.Committed)
+		res.TotalCommitted += sr.CommittedTotal
 		res.TotalSlots += sr.SlotsUsed
 		res.Delivered += sr.Delivered
 		for k, v := range sr.State {

@@ -102,6 +102,60 @@ func TestSimKVDeterministicReplay(t *testing.T) {
 	}
 }
 
+// TestSimKVCheckpointedReplay is the recycling acceptance criterion: a
+// stream several times the slot window, sealed by at least three
+// checkpoints, replays byte-identically per seed — including with a
+// crash schedule that kills processes while checkpoints are in flight.
+func TestSimKVCheckpointedReplay(t *testing.T) {
+	const slots = 24 // window 24, default cadence 6: a 150-write stream recycles many times
+	base := omegasm.SimKVConfig{
+		N:       3,
+		Seed:    99,
+		Horizon: 2_000_000,
+		Slots:   slots,
+		Writes:  simWorkload(150, 2_000, 2_000),
+	}
+	for name, crashes := range map[string]map[int]int64{
+		"calm": nil,
+		// The crash lands mid-stream, while seals and acks are flowing:
+		// whichever process is mid-checkpoint when it hits, the survivors
+		// must finish the seal, gather the quorum, and keep recycling.
+		"crash-during-checkpointing": {1: 120_000},
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := base
+			cfg.Crashes = crashes
+			a, err := omegasm.SimKV(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := omegasm.SimKV(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same seed, different results across checkpoints:\n%+v\n%+v", a, b)
+			}
+			if a.Checkpoints < 3 {
+				t.Fatalf("only %d checkpoints; the scenario is not exercising recycling", a.Checkpoints)
+			}
+			if a.SlotsUsed <= slots {
+				t.Fatalf("SlotsUsed = %d over a %d-slot window: nothing recycled", a.SlotsUsed, slots)
+			}
+			if a.Delivered != len(cfg.Writes) {
+				t.Fatalf("delivered %d of %d across recycling", a.Delivered, len(cfg.Writes))
+			}
+			want := map[uint16]uint16{}
+			for _, w := range cfg.Writes {
+				want[w.Key] = w.Val
+			}
+			if !reflect.DeepEqual(a.State, want) {
+				t.Fatalf("state diverged from last-write-wins: %v vs %v", a.State, want)
+			}
+		})
+	}
+}
+
 // TestSimKVLeaderCrashFailover scripts the deterministic failover
 // scenario: probe the stabilized leader with a dry run, then crash
 // exactly that leader mid-workload and check the survivors finish the
