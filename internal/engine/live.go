@@ -1,3 +1,5 @@
+//omegalint:allow simdet Live is the wall-clock engine by design: it reads real time, arms real timers and runs on its own goroutine; only the Sim engine carries the determinism obligation.
+
 package engine
 
 import (

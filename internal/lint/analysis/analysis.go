@@ -1,0 +1,98 @@
+// Package analysis is a minimal, offline reimplementation of the
+// golang.org/x/tools/go/analysis contract: an Analyzer is a named check
+// with a Run function, a Pass hands Run one type-checked package, and
+// diagnostics flow through Pass.Report.
+//
+// The module vendors no third-party code and builds without network
+// access, so the real x/tools module is not available; this package
+// keeps the same shape (Analyzer/Pass/Diagnostic, analysistest-style
+// fixtures) so the analyzers in internal/lint port to the upstream API
+// mechanically if the dependency ever lands. One deliberate divergence:
+// instead of x/tools' serialized Facts, a Pass carries the whole
+// type-checked Program, because every omegalint invocation loads the
+// full module in-process anyway (see internal/lint/loader).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //omegalint:allow directives.
+	Name string
+	// Doc is the one-paragraph description printed by `omegalint -help`.
+	Doc string
+	// Run applies the check to one package and reports diagnostics via
+	// pass.Report. The result value is unused by omegalint (kept for
+	// x/tools API shape).
+	Run func(*Pass) (any, error)
+}
+
+// Pass hands an Analyzer one type-checked package plus the surrounding
+// program.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file of the program.
+	Fset *token.FileSet
+	// Files are the package's parsed files (tests excluded).
+	Files []*ast.File
+	// Pkg is the package's type-checker object.
+	Pkg *types.Package
+	// TypesInfo holds the package's type-checking results.
+	TypesInfo *types.Info
+	// TypesSizes gives sizes/offsets under the primary target
+	// (gc/amd64).
+	TypesSizes types.Sizes
+	// Program is the full loaded module, for whole-program checks such
+	// as atomicfield's cross-package field census (the stand-in for
+	// x/tools Facts).
+	Program *Program
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos anchors the finding.
+	Pos token.Pos
+	// Category optionally sub-classifies the finding within an analyzer.
+	Category string
+	// Message states the violated invariant.
+	Message string
+}
+
+// Program is the set of type-checked packages one omegalint invocation
+// loaded (the whole module, or one test fixture).
+type Program struct {
+	// Fset is shared by all packages, so types.Object identity holds
+	// across them.
+	Fset *token.FileSet
+	// Packages lists the loaded packages in deterministic (sorted
+	// import path) order.
+	Packages []*PackageInfo
+}
+
+// PackageInfo is one loaded package of a Program.
+type PackageInfo struct {
+	// Path is the import path ("omegasm/internal/engine").
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Pkg is the type-checker package.
+	Pkg *types.Package
+	// TypesInfo holds type-checking results for Files.
+	TypesInfo *types.Info
+}

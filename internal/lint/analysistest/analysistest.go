@@ -1,0 +1,151 @@
+// Package analysistest runs one analyzer over fixture packages under a
+// testdata tree and compares its diagnostics against // want
+// expectations, in the style of golang.org/x/tools/go/analysis/
+// analysistest (reimplemented offline, see internal/lint/analysis).
+//
+// A fixture line expecting a diagnostic carries a trailing comment
+//
+//	x := m[k] // want `regex`
+//
+// with one backquoted (or double-quoted) regular expression per
+// expected diagnostic on that line. The run fails on diagnostics
+// without a matching expectation and on expectations nothing matched.
+// Allow-directive fixtures combine both in one physical comment:
+// "//omegalint:allow name reason // want `...`".
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"omegasm/internal/lint"
+	"omegasm/internal/lint/analysis"
+	"omegasm/internal/lint/loader"
+)
+
+// wantRe extracts the expectation list of one comment.
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src and checks the
+// analyzer's diagnostics against the fixtures' expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	for _, pattern := range patterns {
+		runOne(t, testdata, a, pattern)
+	}
+}
+
+// runOne handles a single fixture package.
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pattern string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	l := loader.New(loader.Config{Root: src})
+	info, err := l.LoadDir(pattern, filepath.Join(src, filepath.FromSlash(pattern)))
+	if err != nil {
+		t.Fatalf("%s: load: %v", pattern, err)
+	}
+	prog := l.Program()
+	findings, err := lint.RunSuite(prog, []*analysis.PackageInfo{info}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: run: %v", pattern, err)
+	}
+
+	expectations, err := collectExpectations(prog, info)
+	if err != nil {
+		t.Fatalf("%s: %v", pattern, err)
+	}
+
+	for _, f := range findings {
+		if !matchExpectation(expectations, f) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", pattern, filepath.Base(f.File), f.Line, f.Message)
+		}
+	}
+	sort.Slice(expectations, func(i, j int) bool {
+		if expectations[i].file != expectations[j].file {
+			return expectations[i].file < expectations[j].file
+		}
+		return expectations[i].line < expectations[j].line
+	})
+	for _, e := range expectations {
+		if !e.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", pattern, filepath.Base(e.file), e.line, e.re)
+		}
+	}
+}
+
+// matchExpectation marks and reports the first unmatched expectation
+// covering the finding.
+func matchExpectation(expectations []*expectation, f lint.Finding) bool {
+	for _, e := range expectations {
+		if e.matched || e.line != f.Line || filepath.Base(e.file) != filepath.Base(f.File) {
+			continue
+		}
+		if e.re.MatchString(f.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectExpectations parses the // want comments of the fixture.
+func collectExpectations(prog *analysis.Program, info *analysis.PackageInfo) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range info.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				res, err := parseWant(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %w", pos.Filename, pos.Line, err)
+				}
+				for _, re := range res {
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseWant splits a want payload into its quoted regular expressions.
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '`' && quote != '"' {
+			return nil, fmt.Errorf("want: expressions must be `...` or \"...\" quoted, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("want: unterminated expression in %q", s)
+		}
+		re, err := regexp.Compile(s[1 : 1+end])
+		if err != nil {
+			return nil, fmt.Errorf("want: %w", err)
+		}
+		out = append(out, re)
+		s = strings.TrimSpace(s[2+end:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want: empty expectation")
+	}
+	return out, nil
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"omegasm/internal/lint/analysis"
+)
+
+// AtomicField checks that cross-goroutine fields stay on one side of
+// the atomic fence: any struct field that is passed to a sync/atomic
+// function anywhere in the program must never be read or written
+// non-atomically anywhere else, and any field used with a 64-bit
+// sync/atomic function must be 8-byte aligned even under 32-bit struct
+// layout rules (offset computed with gc/386 sizes), the layout
+// discipline the padded census slots follow and the future mmap
+// cross-process substrate requires. Fields of the atomic.Int64-style
+// wrapper types are exempt from the alignment rule: the runtime aligns
+// those itself.
+var AtomicField = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "fields accessed via sync/atomic must be accessed that way everywhere, " +
+		"and 64-bit atomic fields must be 8-byte aligned under 32-bit layout",
+	Run: runAtomicField,
+}
+
+// atomicFuncs maps sync/atomic function names to whether they operate
+// on a 64-bit word.
+var atomicFuncs = map[string]bool{
+	"LoadInt32": false, "LoadInt64": true, "LoadUint32": false, "LoadUint64": true,
+	"LoadUintptr": false, "LoadPointer": false,
+	"StoreInt32": false, "StoreInt64": true, "StoreUint32": false, "StoreUint64": true,
+	"StoreUintptr": false, "StorePointer": false,
+	"AddInt32": false, "AddInt64": true, "AddUint32": false, "AddUint64": true,
+	"AddUintptr": false,
+	"AndInt32":   false, "AndInt64": true, "AndUint32": false, "AndUint64": true,
+	"AndUintptr": false,
+	"OrInt32":    false, "OrInt64": true, "OrUint32": false, "OrUint64": true,
+	"OrUintptr": false,
+	"SwapInt32": false, "SwapInt64": true, "SwapUint32": false, "SwapUint64": true,
+	"SwapUintptr": false, "SwapPointer": false,
+	"CompareAndSwapInt32": false, "CompareAndSwapInt64": true,
+	"CompareAndSwapUint32": false, "CompareAndSwapUint64": true,
+	"CompareAndSwapUintptr": false, "CompareAndSwapPointer": false,
+}
+
+// atomicUse records how a field is used atomically across the program.
+type atomicUse struct {
+	// is64 is set when any use goes through a 64-bit atomic function.
+	is64 bool
+	// recv is the struct type owning the field, for offset computation.
+	recv types.Type
+	// index is the selection's field index path into recv.
+	index []int
+	// pos is one representative atomic-use site.
+	pos token.Pos
+}
+
+// runAtomicField implements the analyzer: a program-wide census of
+// atomically accessed fields, then a per-package scan for stray plain
+// accesses, plus the 32-bit alignment audit for the 64-bit ones.
+func runAtomicField(pass *analysis.Pass) (any, error) {
+	fields, sanctioned := atomicFieldCensus(pass.Program)
+
+	// Plain-access scan over this pass's package only (each package
+	// reports its own files; the census above is program-wide).
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			obj, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, tracked := fields[obj]; !tracked || sanctioned[sel.Pos()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"non-atomic access to field %s, which is accessed with sync/atomic elsewhere; every access must go through sync/atomic",
+				obj.Name())
+			return true
+		})
+	}
+
+	// Alignment audit: reported once, by the package that defines the
+	// field, so the whole-program census yields each finding exactly once.
+	sizes32 := types.SizesFor("gc", "386")
+	var objs []*types.Var
+	for obj := range fields {
+		if fields[obj].is64 && obj.Pkg() == pass.Pkg {
+			objs = append(objs, obj)
+		}
+	}
+	// Deterministic report order.
+	sortVarsByPos(pass.Fset, objs)
+	for _, obj := range objs {
+		u := fields[obj]
+		off, ok := fieldOffset(sizes32, u.recv, u.index)
+		if !ok {
+			continue
+		}
+		if off%8 != 0 {
+			pass.Reportf(obj.Pos(),
+				"64-bit atomic field %s sits at offset %d under 32-bit layout; "+
+					"move it to an 8-byte-aligned offset (lead the struct with it or pad) per the census slot convention",
+				obj.Name(), off)
+		}
+	}
+	return nil, nil
+}
+
+// atomicFieldCensus walks every package of prog and returns the struct
+// fields whose address is passed to a sync/atomic call, together with
+// the set of selector positions that are sanctioned (are that atomic
+// argument).
+func atomicFieldCensus(prog *analysis.Program) (map[*types.Var]atomicUse, map[token.Pos]bool) {
+	fields := map[*types.Var]atomicUse{}
+	sanctioned := map[token.Pos]bool{}
+	for _, pkg := range prog.Packages {
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				name, ok := syncAtomicCallee(info, call)
+				if !ok {
+					return true
+				}
+				is64, known := atomicFuncs[name]
+				if !known {
+					return true
+				}
+				addr, ok := call.Args[0].(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				sel, ok := addr.X.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				obj, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				sanctioned[sel.Pos()] = true
+				u := fields[obj]
+				u.is64 = u.is64 || is64
+				u.recv = s.Recv()
+				u.index = s.Index()
+				u.pos = sel.Pos()
+				fields[obj] = u
+				return true
+			})
+		}
+	}
+	return fields, sanctioned
+}
+
+// syncAtomicCallee returns the function name when call is a direct call
+// of a sync/atomic package-level function.
+func syncAtomicCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// fieldOffset computes the byte offset of the field reached from recv
+// via the selection index path, under the given size model.
+func fieldOffset(sizes types.Sizes, recv types.Type, index []int) (int64, bool) {
+	t := recv
+	var off int64
+	for _, i := range index {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return 0, false
+		}
+		flds := make([]*types.Var, st.NumFields())
+		for k := range flds {
+			flds[k] = st.Field(k)
+		}
+		offs := sizes.Offsetsof(flds)
+		off += offs[i]
+		t = st.Field(i).Type()
+	}
+	return off, true
+}
+
+// sortVarsByPos orders vars by source position for deterministic
+// reporting.
+func sortVarsByPos(fset *token.FileSet, vs []*types.Var) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && posLess(fset, vs[j].Pos(), vs[j-1].Pos()); j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"omegasm/internal/lint/analysis"
+)
+
+// allowPrefix introduces a suppression directive:
+//
+//	//omegalint:allow <analyzer> <reason>
+//
+// On a line of its own the directive suppresses the named analyzer on
+// that line and the next; as an end-of-line comment it suppresses the
+// line it trails. Placed before the package clause it suppresses the
+// analyzer for the whole file. The reason is mandatory: a directive
+// without one is itself a diagnostic, so every suppression in the tree
+// carries its justification.
+const allowPrefix = "//omegalint:allow"
+
+// allowDirective is one parsed //omegalint:allow comment.
+type allowDirective struct {
+	pos      token.Pos
+	analyzer string
+	reason   string
+	// line is the directive's own source line.
+	line int
+	// fileWide marks directives placed before the package clause.
+	fileWide bool
+	// file is the token.File the directive appears in.
+	file *token.File
+}
+
+// parseAllow parses c as an allow directive, or returns ok == false.
+// The reason runs to the end of the comment or to an embedded "//"
+// (which lets test fixtures carry a trailing "// want" expectation in
+// the same physical comment).
+func parseAllow(c *ast.Comment) (d allowDirective, ok bool) {
+	rest, found := strings.CutPrefix(c.Text, allowPrefix)
+	if !found {
+		return d, false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return d, false // e.g. //omegalint:allowx
+	}
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.Fields(rest)
+	d.pos = c.Pos()
+	if len(fields) > 0 {
+		d.analyzer = fields[0]
+	}
+	if len(fields) > 1 {
+		d.reason = strings.Join(fields[1:], " ")
+	}
+	return d, true
+}
+
+// allowIndex answers "is this diagnostic suppressed?" for one package
+// and one analyzer.
+type allowIndex struct {
+	// lines maps token.File -> suppressed line set.
+	lines map[*token.File]map[int]bool
+	// files holds token.Files suppressed wholesale.
+	files map[*token.File]bool
+}
+
+// buildAllowIndex collects the directives of pass's files that name
+// pass.Analyzer, reporting malformed ones (missing or empty reason) as
+// diagnostics of that analyzer.
+func buildAllowIndex(pass *analysis.Pass) *allowIndex {
+	idx := &allowIndex{
+		lines: map[*token.File]map[int]bool{},
+		files: map[*token.File]bool{},
+	}
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		pkgLine := tf.Line(f.Package)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseAllow(c)
+				if !ok || d.analyzer != pass.Analyzer.Name {
+					continue
+				}
+				if d.reason == "" {
+					pass.Reportf(d.pos, "allow directive for %q needs a reason: //omegalint:allow %s <reason>",
+						pass.Analyzer.Name, pass.Analyzer.Name)
+					continue
+				}
+				line := tf.Line(c.Pos())
+				if line < pkgLine {
+					idx.files[tf] = true
+					continue
+				}
+				if idx.lines[tf] == nil {
+					idx.lines[tf] = map[int]bool{}
+				}
+				idx.lines[tf][line] = true
+				idx.lines[tf][line+1] = true
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a diagnostic at pos is covered by a
+// directive.
+func (idx *allowIndex) suppressed(fset *token.FileSet, pos token.Pos) bool {
+	tf := fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	if idx.files[tf] {
+		return true
+	}
+	return idx.lines[tf][tf.Line(pos)]
+}
+
+// runWithAllows runs one analyzer over pass, filtering diagnostics
+// through the package's //omegalint:allow directives. Malformed
+// directives naming the analyzer surface as diagnostics regardless.
+func runWithAllows(pass *analysis.Pass) error {
+	report := pass.Report
+	var malformed []analysis.Diagnostic
+	pass.Report = func(d analysis.Diagnostic) { malformed = append(malformed, d) }
+	idx := buildAllowIndex(pass)
+	pass.Report = func(d analysis.Diagnostic) {
+		if !idx.suppressed(pass.Fset, d.Pos) {
+			report(d)
+		}
+	}
+	for _, d := range malformed {
+		report(d)
+	}
+	_, err := pass.Analyzer.Run(pass)
+	pass.Report = report
+	return err
+}

@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"omegasm/internal/lint"
+	"omegasm/internal/lint/analysistest"
+	"omegasm/internal/lint/loader"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.AtomicField,
+		"atomicfield/bad", "atomicfield/good", "atomicfield/allow")
+}
+
+func TestPubOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.PubOrder,
+		"puborder/bad", "puborder/good", "puborder/allow")
+}
+
+func TestSimDet(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SimDet,
+		"simdet/internal/engine", "simdet/filescope", "simdet/unscoped",
+		"simdet/allowed/internal/core")
+}
+
+func TestWakeHint(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.WakeHint,
+		"wakehint/bad", "wakehint/good")
+}
+
+// TestRepoIsClean is the gate in test form: the whole module must pass
+// the suite, so `go test ./...` fails on a violation even where CI's
+// dedicated omegalint job does not run.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	module, err := loader.ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := loader.LoadModule(loader.Config{Root: root, Module: module})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.RunSuite(prog, nil, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,261 @@
+// Package loader type-checks this module's packages without the go
+// tool or network access: module-internal imports are resolved to
+// directories and type-checked from source recursively, everything else
+// (the standard library) goes through go/importer's source importer.
+// One Load call produces one analysis.Program with a shared FileSet and
+// type identity across packages.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"omegasm/internal/lint/analysis"
+)
+
+// Config locates the source tree to load.
+type Config struct {
+	// Root is the directory of the module (or fixture tree) to load.
+	Root string
+	// Module is the import-path prefix that maps to Root. Empty means
+	// fixture mode: any import whose directory exists under Root is
+	// loaded from there (analysistest uses this for testdata/src).
+	Module string
+}
+
+// Loader resolves and caches type-checked packages for one program.
+type Loader struct {
+	cfg   Config
+	fset  *token.FileSet
+	pkgs  map[string]*analysis.PackageInfo
+	order []string
+	src   types.ImporterFrom
+}
+
+// New creates a loader for the tree described by cfg.
+func New(cfg Config) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		cfg:  cfg,
+		fset: fset,
+		pkgs: map[string]*analysis.PackageInfo{},
+		src:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// dirFor maps an import path to a directory under Root, or "" when the
+// path is not local to the loaded tree.
+func (l *Loader) dirFor(path string) string {
+	if l.cfg.Module != "" {
+		if path == l.cfg.Module {
+			return l.cfg.Root
+		}
+		if rest, ok := strings.CutPrefix(path, l.cfg.Module+"/"); ok {
+			return filepath.Join(l.cfg.Root, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+	dir := filepath.Join(l.cfg.Root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.cfg.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: local paths load from
+// source under Root, all others delegate to the standard-library source
+// importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if info, ok := l.pkgs[path]; ok {
+		return info.Pkg, nil
+	}
+	if d := l.dirFor(path); d != "" {
+		info, err := l.load(path, d)
+		if err != nil {
+			return nil, err
+		}
+		return info.Pkg, nil
+	}
+	return l.src.ImportFrom(path, dir, mode)
+}
+
+// load parses and type-checks the package in dir under import path
+// path, caching the result.
+func (l *Loader) load(path, dir string) (*analysis.PackageInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l, Sizes: types.SizesFor("gc", "amd64")}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", path, err)
+	}
+	pi := &analysis.PackageInfo{Path: path, Dir: dir, Files: files, Pkg: pkg, TypesInfo: info}
+	l.pkgs[path] = pi
+	l.order = append(l.order, path)
+	return pi, nil
+}
+
+// LoadDir loads the single package in dir under the given import path.
+func (l *Loader) LoadDir(path, dir string) (*analysis.PackageInfo, error) {
+	if info, ok := l.pkgs[path]; ok {
+		return info, nil
+	}
+	return l.load(path, dir)
+}
+
+// Program assembles the loaded packages (sorted by import path) into an
+// analysis.Program.
+func (l *Loader) Program() *analysis.Program {
+	paths := append([]string(nil), l.order...)
+	sort.Strings(paths)
+	prog := &analysis.Program{Fset: l.fset}
+	for _, p := range paths {
+		prog.Packages = append(prog.Packages, l.pkgs[p])
+	}
+	return prog
+}
+
+// LoadModule loads every package of the module rooted at cfg.Root
+// (skipping testdata and hidden directories) and returns the assembled
+// program. Directories without Go files are skipped.
+func LoadModule(cfg Config) (*analysis.Program, *Loader, error) {
+	l := New(cfg)
+	dirs, err := moduleDirs(cfg.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, dir := range dirs {
+		path, err := importPathFor(cfg, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := l.LoadDir(path, dir); err != nil {
+			return nil, nil, err
+		}
+	}
+	return l.Program(), l, nil
+}
+
+// moduleDirs lists every directory under root that contains non-test Go
+// files, in sorted order.
+func moduleDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") &&
+			!strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a directory under cfg.Root to its import path.
+func importPathFor(cfg Config, dir string) (string, error) {
+	rel, err := filepath.Rel(cfg.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	switch {
+	case rel == ".":
+		if cfg.Module == "" {
+			return "", fmt.Errorf("loader: package at module root needs Config.Module")
+		}
+		return cfg.Module, nil
+	case cfg.Module == "":
+		return rel, nil
+	default:
+		return cfg.Module + "/" + rel, nil
+	}
+}
+
+// ModulePath reads the module path from root's go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("loader: no module line in %s/go.mod", root)
+}

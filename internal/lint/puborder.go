@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"omegasm/internal/lint/analysis"
+)
+
+// PubOrder checks the publication protocol of pointer-to-value areas
+// (internal/consensus batches, checkpoints, snapshots): within one
+// function, register stores that land in a `data` field must come
+// before stores to a `meta` field, which must come before stores to a
+// `hdr` field. The descriptor a reader can learn points at the header,
+// so the header store is the commit point — writing it before the data
+// publishes a half-written area. Stores in mutually exclusive branches
+// of the same if/switch are unordered and never paired.
+var PubOrder = &analysis.Analyzer{
+	Name: "puborder",
+	Doc: "publication-area register stores must be ordered data -> meta -> header " +
+		"within a publishing function",
+	Run: runPubOrder,
+}
+
+// pubKind ranks the three store classes in required order.
+type pubKind int
+
+const (
+	pubData pubKind = iota
+	pubMeta
+	pubHdr
+)
+
+// pubKindName renders a pubKind for diagnostics.
+func pubKindName(k pubKind) string {
+	switch k {
+	case pubData:
+		return "data"
+	case pubMeta:
+		return "meta"
+	default:
+		return "header"
+	}
+}
+
+// pubStore is one classified register store with its ancestor path.
+type pubStore struct {
+	kind pubKind
+	pos  token.Pos
+	path []ast.Node
+}
+
+// runPubOrder walks every function body, collects classified Write
+// calls, and reports later stores that belong earlier in the protocol.
+func runPubOrder(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPubOrderFunc(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkPubOrderFunc analyzes one function body. Function literals
+// inside it are analyzed as their own scopes and skipped here.
+func checkPubOrderFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var stores []pubStore
+	var stack []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			if lit, ok := m.(*ast.FuncLit); ok && lit.Body != nil {
+				checkPubOrderFunc(pass, lit.Body)
+				return false
+			}
+			stack = append(stack, m)
+			if call, ok := m.(*ast.CallExpr); ok {
+				if kind, ok := classifyPubStore(pass.TypesInfo, call); ok {
+					stores = append(stores, pubStore{
+						kind: kind,
+						pos:  call.Pos(),
+						path: append([]ast.Node(nil), stack...),
+					})
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+
+	for i, later := range stores {
+		for _, earlier := range stores[:i] {
+			if later.kind < earlier.kind && sequentiallyOrdered(earlier.path, later.path) {
+				pass.Reportf(later.pos,
+					"%s store after %s store; publication protocol is data -> meta -> header (the header store is the commit point)",
+					pubKindName(later.kind), pubKindName(earlier.kind))
+				break
+			}
+		}
+	}
+}
+
+// classifyPubStore recognizes reg.Write(pid, v) calls whose receiver
+// chain selects a publication-area field named data, meta or hdr, and
+// returns the innermost such classification.
+func classifyPubStore(info *types.Info, call *ast.CallExpr) (pubKind, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Write" || len(call.Args) != 2 {
+		return 0, false
+	}
+	// Must be a method call (a selection), not a package function.
+	if s := info.Selections[sel]; s == nil || s.Kind() != types.MethodVal {
+		return 0, false
+	}
+	kind := pubKind(-1)
+	found := false
+	for expr := sel.X; expr != nil; {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if s := info.Selections[e]; s != nil && s.Kind() == types.FieldVal {
+				switch e.Sel.Name {
+				case "data":
+					kind, found = pubData, true
+				case "meta":
+					kind, found = pubMeta, true
+				case "hdr":
+					kind, found = pubHdr, true
+				}
+			}
+			if found {
+				return kind, true // innermost (nearest the Write) wins
+			}
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			expr = nil
+		}
+	}
+	return 0, false
+}
+
+// sequentiallyOrdered reports whether the store at path a executes
+// before the store at path b in straight-line program order: their
+// divergence point must be a statement list (block or case body), not
+// the two arms of a branch.
+func sequentiallyOrdered(a, b []ast.Node) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	if i == 0 || i == n {
+		return false
+	}
+	switch a[i-1].(type) {
+	case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+		return true
+	default:
+		// Divergence inside an IfStmt, SwitchStmt, etc.: the two stores
+		// sit in different branches and are never both executed in this
+		// order.
+		return false
+	}
+}

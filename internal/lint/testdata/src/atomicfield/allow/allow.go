@@ -1,0 +1,25 @@
+package allow
+
+import "sync/atomic"
+
+type gauge struct {
+	ticks uint64
+}
+
+func bump(g *gauge) {
+	atomic.AddUint64(&g.ticks, 1)
+}
+
+// reset's plain store predates publication; the directive's reason
+// records why the suppression is sound.
+func reset(g *gauge) {
+	//omegalint:allow atomicfield pre-publication store before the gauge is shared
+	g.ticks = 0
+}
+
+// An allow directive without a reason is itself a finding and
+// suppresses nothing.
+func bad(g *gauge) {
+	//omegalint:allow atomicfield // want `allow directive for "atomicfield" needs a reason`
+	g.ticks = 1 // want `non-atomic access to field ticks`
+}

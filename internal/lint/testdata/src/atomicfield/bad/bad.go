@@ -1,0 +1,22 @@
+package bad
+
+import "sync/atomic"
+
+// gauge mixes atomic and plain access to ticks, and lays the 64-bit
+// field out at a 32-bit-misaligned offset.
+type gauge struct {
+	ready bool
+	ticks uint64 // want `64-bit atomic field ticks sits at offset 4 under 32-bit layout`
+}
+
+func bump(g *gauge) {
+	atomic.AddUint64(&g.ticks, 1)
+}
+
+func racyRead(g *gauge) uint64 {
+	return g.ticks // want `non-atomic access to field ticks`
+}
+
+func racyWrite(g *gauge) {
+	g.ticks = 0 // want `non-atomic access to field ticks`
+}

@@ -1,0 +1,37 @@
+package good
+
+import "sync/atomic"
+
+// gauge leads with its 64-bit atomic field, so it is aligned under
+// every layout, and every access goes through sync/atomic.
+type gauge struct {
+	ticks uint64
+	ready bool
+}
+
+func bump(g *gauge) {
+	atomic.AddUint64(&g.ticks, 1)
+}
+
+func read(g *gauge) uint64 {
+	return atomic.LoadUint64(&g.ticks)
+}
+
+// newGauge's keyed composite literal is initialization, not access.
+func newGauge() *gauge {
+	return &gauge{ticks: 0, ready: true}
+}
+
+// plain is never touched atomically, so plain access stays legal.
+type plain struct{ n int }
+
+func inc(p *plain) { p.n++ }
+
+// typed uses the atomic wrapper types: safe by construction and
+// runtime-aligned, so the field may sit anywhere.
+type typed struct {
+	ready bool
+	hits  atomic.Uint64
+}
+
+func bumpTyped(t *typed) { t.hits.Add(1) }

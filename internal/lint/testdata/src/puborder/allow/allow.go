@@ -1,0 +1,21 @@
+package allow
+
+type reg struct{ v uint64 }
+
+func (r *reg) Write(pid int, v uint64) { r.v = v }
+
+type area struct {
+	data []reg
+	meta reg
+	hdr  reg
+}
+
+// repair tombstones the header before rewriting the area; the
+// suppression carries its justification, and the unsuppressed meta
+// store after the header still fires.
+func repair(a *area, pid int) {
+	a.hdr.Write(pid, 0)
+	//omegalint:allow puborder header tombstone precedes the rewrite; readers treat 0 as absent
+	a.data[0].Write(pid, 3)
+	a.meta.Write(pid, 1) // want `meta store after header store`
+}

@@ -1,0 +1,27 @@
+package bad
+
+type reg struct{ v uint64 }
+
+func (r *reg) Write(pid int, v uint64) { r.v = v }
+
+type area struct {
+	data []reg
+	meta reg
+	hdr  reg
+}
+
+// headerFirst publishes the completion header before the data words: a
+// reader that learns the descriptor can see a half-written area.
+func headerFirst(a *area, pid int) {
+	a.hdr.Write(pid, 1)
+	for w := range a.data {
+		a.data[w].Write(pid, uint64(w)) // want `data store after header store`
+	}
+	a.meta.Write(pid, 2) // want `meta store after header store`
+}
+
+// metaFirst writes the metadata before the data words.
+func metaFirst(a *area, pid int) {
+	a.meta.Write(pid, 2)
+	a.data[0].Write(pid, 7) // want `data store after meta store`
+}

@@ -1,0 +1,37 @@
+package good
+
+type reg struct{ v uint64 }
+
+func (r *reg) Write(pid int, v uint64) { r.v = v }
+
+type area struct {
+	data []reg
+	meta reg
+	hdr  reg
+}
+
+// publish follows the protocol: data words, then metadata, then the
+// completion header.
+func publish(a *area, pid int, words []uint64) {
+	for w, v := range words {
+		a.data[w].Write(pid, v)
+	}
+	a.meta.Write(pid, uint64(len(words)))
+	a.hdr.Write(pid, 1)
+}
+
+// branchy's stores sit in mutually exclusive arms: they are unordered
+// and never paired.
+func branchy(a *area, pid int, fresh bool) {
+	if fresh {
+		a.hdr.Write(pid, 1)
+	} else {
+		a.data[0].Write(pid, 7)
+	}
+}
+
+// unrelated Write methods without a data/meta/hdr receiver chain are
+// not publication stores.
+func unrelated(r *reg, pid int) {
+	r.Write(pid, 3)
+}

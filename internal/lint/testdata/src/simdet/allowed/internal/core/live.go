@@ -1,0 +1,14 @@
+//omegalint:allow simdet this adapter is wall-clock by design; only the sim paths of the package carry the determinism obligation
+
+package core
+
+import "time"
+
+// now is covered by the file-wide directive above the package clause.
+func now() int64 {
+	return time.Now().UnixNano()
+}
+
+func spawn(f func()) {
+	go f()
+}

@@ -1,0 +1,8 @@
+package filescope
+
+import "time"
+
+// wallNow lives outside sim.go in an unscoped package: no finding.
+func wallNow() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,9 @@
+package filescope
+
+import "time"
+
+// virtualNow lives in sim.go, which is sim-scoped by file name in any
+// package.
+func virtualNow() int64 {
+	return time.Now().UnixNano() // want `time.Now in sim-reachable code`
+}

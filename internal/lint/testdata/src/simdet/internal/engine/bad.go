@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type sink struct{ out []int }
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in sim-reachable code`
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time.Since in sim-reachable code`
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `global math/rand.Intn`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // seeded generator: allowed
+	return rng.Intn(8)
+}
+
+func spawn(f func()) {
+	go f() // want `goroutine spawn in sim-reachable code`
+}
+
+// leakOrder appends map values in iteration order: the emitted slice
+// depends on the hash seed.
+func leakOrder(m map[int]int, s *sink) {
+	for _, v := range m { // want `iteration over map m`
+		s.out = append(s.out, v)
+	}
+}
+
+// sortedOrder is the canonical fix: collect keys, sort, then walk.
+func sortedOrder(m map[int]int, s *sink) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		s.out = append(s.out, m[k])
+	}
+}
+
+// commutative bodies — keyed writes, deletes, counters — cannot leak
+// iteration order.
+func commutative(dst, src map[int]int) int {
+	n := 0
+	for k, v := range src {
+		if v > 0 {
+			dst[k] = v
+		}
+		n++
+	}
+	for k := range dst {
+		if k < 0 {
+			delete(dst, k)
+		}
+	}
+	return n
+}

@@ -1,0 +1,51 @@
+package bad
+
+type Hint struct {
+	Kind int
+	At   int64
+}
+
+const (
+	WakeNow = iota + 1
+	WakeAt
+	WakePark
+)
+
+func Now() Hint       { return Hint{Kind: WakeNow} }
+func At(t int64) Hint { return Hint{Kind: WakeAt, At: t} }
+
+type spinner struct{}
+
+// Step below returns WakeNow unconditionally: the engine re-steps it
+// forever and the machine can never idle.
+func (spinner) Step(now int64) Hint { // want `Step returns WakeNow on every path`
+	return Now()
+}
+
+type literalSpinner struct{}
+
+func (literalSpinner) Step(now int64) Hint { // want `Step returns WakeNow on every path`
+	return Hint{Kind: WakeNow}
+}
+
+type zeroer struct{ busy bool }
+
+func (z zeroer) Step(now int64) Hint {
+	if z.busy {
+		return Now()
+	}
+	return Hint{} // want `Step returns a zero Hint`
+}
+
+type naked struct{}
+
+func (naked) Step(now int64) (h Hint) {
+	return // want `naked return in Step`
+}
+
+type endless struct{}
+
+func (endless) Step(now int64) Hint { // want `Step has no return path`
+	for {
+	}
+}

@@ -1,0 +1,50 @@
+package good
+
+type Hint struct {
+	Kind int
+	At   int64
+}
+
+const (
+	WakeNow = iota + 1
+	WakeAt
+	WakePark
+)
+
+func Now() Hint       { return Hint{Kind: WakeNow} }
+func At(t int64) Hint { return Hint{Kind: WakeAt, At: t} }
+func Park() Hint      { return Hint{Kind: WakePark} }
+
+type worker struct{ pending []int }
+
+// Step drains one unit and parks when idle: the wake-hint contract.
+func (w *worker) Step(now int64) Hint {
+	if len(w.pending) > 0 {
+		w.pending = w.pending[1:]
+		return Now()
+	}
+	return Park()
+}
+
+type poller struct{}
+
+// Step always reports a deadline: pacing, not spinning.
+func (poller) Step(now int64) Hint { return At(now + 8) }
+
+type delegator struct{ inner worker }
+
+// Step delegates; the callee's hint is not statically WakeNow.
+func (d *delegator) Step(now int64) Hint { return d.inner.Step(now) }
+
+type paced struct{}
+
+// Step is WakeNow on every path but justified: the directive carries
+// the reason.
+//
+//omegalint:allow wakehint stepped only under the sim adversary, which paces every WakeNow
+func (paced) Step(now int64) Hint { return Now() }
+
+type notAMachine struct{}
+
+// Step without a Hint result is outside the contract.
+func (notAMachine) Step(now int64) {}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"omegasm/internal/lint/analysis"
+)
+
+// WakeHint checks engine.Machine Step implementations — methods named
+// Step whose single result is a type named Hint — for wake-hint
+// hygiene: every return path must produce an explicit hint (no naked
+// returns, no zero Hint{} literals, which the engines treat as
+// malformed), and at least one path must yield something other than
+// WakeNow. A Step that answers WakeNow on every path pins the engine in
+// a busy-poll: the machine is re-stepped immediately forever and can
+// never park or sleep to a deadline, which is exactly the regression
+// the wake-driven engine layer exists to prevent.
+var WakeHint = &analysis.Analyzer{
+	Name: "wakehint",
+	Doc: "engine.Machine Step implementations must return an explicit wake hint on " +
+		"every path and must have at least one non-WakeNow path",
+	Run: runWakeHint,
+}
+
+// runWakeHint scans every Step method with a Hint result.
+func runWakeHint(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name != "Step" || fd.Recv == nil {
+				continue
+			}
+			if !returnsHint(pass.TypesInfo, fd) {
+				continue
+			}
+			checkStepMethod(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// returnsHint reports whether fd's signature is func(...) Hint for a
+// named type called Hint.
+func returnsHint(info *types.Info, fd *ast.FuncDecl) bool {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "Hint"
+}
+
+// checkStepMethod audits the return statements of one Step method.
+// Returns inside nested function literals belong to those literals and
+// are skipped.
+func checkStepMethod(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var returns []*ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r)
+		}
+		return true
+	})
+	if len(returns) == 0 {
+		// Body must diverge (panic/infinite loop) for the method to
+		// compile; an endless Step monopolizes the engine.
+		pass.Reportf(fd.Name.Pos(),
+			"Step has no return path; every Step must yield a wake hint to its engine")
+		return
+	}
+	allNow := true
+	for _, r := range returns {
+		if len(r.Results) == 0 {
+			pass.Reportf(r.Pos(),
+				"naked return in Step; return an explicit wake hint (engine.Now/At/Park)")
+			allNow = false // already reported; one finding per defect
+			continue
+		}
+		switch hintReturnKind(pass.TypesInfo, r.Results[0]) {
+		case hintZero:
+			pass.Reportf(r.Pos(),
+				"Step returns a zero Hint, which no engine accepts as a wake hint; return engine.Now(), engine.At(t) or engine.Park()")
+			allNow = false // already reported; one finding per defect
+		case hintNow:
+			// Counts toward the busy-poll audit below.
+		default:
+			allNow = false
+		}
+	}
+	if allNow {
+		pass.Reportf(fd.Name.Pos(),
+			"Step returns WakeNow on every path; the machine can never idle (busy-poll) — park or report a deadline when there is no work")
+	}
+}
+
+// hintReturnKind classifies one returned hint expression.
+type hintKindClass int
+
+const (
+	// hintOther is a hint the analyzer cannot or need not classify
+	// (delegated calls, variables, At/Park constructors).
+	hintOther hintKindClass = iota
+	// hintNow is a WakeNow hint (engine.Now() or Hint{Kind: WakeNow}).
+	hintNow
+	// hintZero is a zero composite literal Hint{}.
+	hintZero
+)
+
+// hintReturnKind inspects a return expression.
+func hintReturnKind(info *types.Info, e ast.Expr) hintKindClass {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if name, ok := calleeName(info, e); ok && name == "Now" {
+			return hintNow
+		}
+	case *ast.CompositeLit:
+		if len(e.Elts) == 0 {
+			return hintZero
+		}
+		for _, el := range e.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				break
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Kind" {
+				if v, ok := kv.Value.(*ast.Ident); ok && v.Name == "WakeNow" {
+					return hintNow
+				}
+				if v, ok := kv.Value.(*ast.SelectorExpr); ok && v.Sel.Name == "WakeNow" {
+					return hintNow
+				}
+				return hintOther
+			}
+		}
+	}
+	return hintOther
+}
+
+// calleeName extracts the function name of a direct call: Now() or
+// engine.Now().
+func calleeName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Func); ok {
+			return fun.Name, true
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if _, ok := info.Uses[id].(*types.PkgName); ok {
+				return fun.Sel.Name, true
+			}
+		}
+	}
+	return "", false
+}

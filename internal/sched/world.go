@@ -245,6 +245,7 @@ type procMachine struct {
 	pid int
 }
 
+//omegalint:allow wakehint sim-only machine: under the Sim engine WakeNow defers to the pacing adversary, so a perpetual-work hint is the model, not a busy-poll
 func (m *procMachine) Step(now vclock.Time) engine.Hint {
 	m.w.procs[m.pid].Step(now)
 	return engine.Now()
@@ -265,6 +266,7 @@ func (m samplerMachine) Step(now vclock.Time) engine.Hint {
 // auxMachine adapts a Stepper.
 type auxMachine struct{ s Stepper }
 
+//omegalint:allow wakehint sim-only machine: the pacing adversary spaces every WakeNow step, so the auxiliary can never spin
 func (m auxMachine) Step(now vclock.Time) engine.Hint {
 	m.s.Step(now)
 	return engine.Now()

@@ -186,11 +186,18 @@ func (c *simShardConfig) validate() error {
 			return fmt.Errorf("omegasm: sim checkpoint interval %d must be below the %d-slot window", c.ckptEvery, c.slots)
 		}
 	}
-	for p, t := range c.crashes {
-		if p < 0 || p >= c.n {
+	// Validate in sorted pid order: with several bad entries the error
+	// reported must be the same on every run (map order must never pick
+	// it), or seeded-replay comparisons of failing configs would flake.
+	pids := make([]int, 0, len(c.crashes))
+	for p := range c.crashes {
+		pids = append(pids, p)
+	}
+	sort.Ints(pids)
+	for _, p := range pids {
+		if t := c.crashes[p]; p < 0 || p >= c.n {
 			return fmt.Errorf("omegasm: crash schedule names process %d of %d", p, c.n)
-		}
-		if t < 0 {
+		} else if t < 0 {
 			return fmt.Errorf("omegasm: crash time %d for process %d is negative", t, p)
 		}
 	}
@@ -255,6 +262,7 @@ func (r *simRun) agreedLeader(now vclock.Time) (int, bool) {
 // simProcMachine runs one election process's T2/T3 tasks.
 type simProcMachine struct{ p core.Proc }
 
+//omegalint:allow wakehint sim-only machine: WakeNow under the Sim engine is paced by the seeded adversary (the paper's T2 loop always has work)
 func (m simProcMachine) Step(now vclock.Time) engine.Hint {
 	m.p.Step(now)
 	return engine.Now()
@@ -270,6 +278,7 @@ type simReplicaMachine struct {
 	idx int
 }
 
+//omegalint:allow wakehint sim-only machine: each wake is one paced micro-step of the asynchrony model, so WakeNow cannot spin
 func (m simReplicaMachine) Step(now vclock.Time) engine.Hint {
 	// Shed the queue under another replica's reign before stepping, as the
 	// live kvMachine does (the watcher alone leaves a window in which a

@@ -45,6 +45,31 @@ func TestSimKVValidation(t *testing.T) {
 	}
 }
 
+// TestSimKVValidationDeterministic: with several invalid crash entries
+// the reported error must not depend on map iteration order. Validation
+// used to range over the crash map directly, so which bad entry it named
+// differed run to run; it now checks pids in sorted order and must always
+// blame the lowest one.
+func TestSimKVValidationDeterministic(t *testing.T) {
+	cfg := omegasm.SimKVConfig{
+		N:       4,
+		Crashes: map[int]int64{9: 10, 7: -5, 3: -1, 11: 20},
+	}
+	_, err := omegasm.SimKV(cfg)
+	if err == nil {
+		t.Fatal("invalid crash schedule accepted")
+	}
+	want := err.Error()
+	if want != "omegasm: crash time -1 for process 3 is negative" {
+		t.Fatalf("validation blamed %q, not the lowest bad pid", want)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := omegasm.SimKV(cfg); err == nil || err.Error() != want {
+			t.Fatalf("run %d: error changed: %v (want %q)", i, err, want)
+		}
+	}
+}
+
 // TestSimKVDeliversWorkload: a calm run (no crashes) commits every write
 // and converges every replica's state.
 func TestSimKVDeliversWorkload(t *testing.T) {
