@@ -1,0 +1,145 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"omegasm"
+	"omegasm/internal/harness"
+	"omegasm/load"
+)
+
+// loadSpec is the workload the -load benchmark runs against both
+// substrates: a Poisson client population over a Zipf-skewed key space,
+// split into an interactive SLO class and a batch SLO class.
+func loadSpec(dur time.Duration) load.Spec {
+	return load.Spec{
+		Name:         "mixed-slo",
+		Clients:      64,
+		Duration:     dur,
+		Seed:         7,
+		Rate:         2000,
+		Process:      load.Poisson,
+		Keys:         1024,
+		ZipfS:        1.2,
+		ReadFraction: 0.5,
+		Classes: []load.Class{
+			{Name: "interactive", Weight: 0.7, SLO: 20 * time.Millisecond},
+			{Name: "batch", Weight: 0.3, SLO: 200 * time.Millisecond},
+		},
+	}
+}
+
+// runLoad executes the latency-under-load benchmark: the same open-loop
+// spec against the simulated sharded store (twice, asserting the runs
+// are byte-identical) and against a live ShardedKV, then scores the
+// sim's percentile predictions against the live measurements and writes
+// BENCH_latency_under_load.json.
+func runLoad(dir string, dur time.Duration) int {
+	const shards, procs = 2, 3
+	spec := loadSpec(dur)
+
+	fmt.Printf("latency under load: %q, %v window, %.0f req/s over %d clients, %d shards x %d procs\n",
+		spec.Name, spec.Duration, spec.Rate, spec.Clients, shards, procs)
+
+	simOpts := load.SimOptions{Shards: shards, N: procs}
+	simRep, err := load.RunSim(&spec, simOpts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omegabench: sim load run: %v\n", err)
+		return 1
+	}
+	simAgain, err := load.RunSim(&spec, simOpts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omegabench: sim load rerun: %v\n", err)
+		return 1
+	}
+	if !reflect.DeepEqual(simRep, simAgain) {
+		fmt.Fprintf(os.Stderr, "omegabench: sim load run is not reproducible:\n%+v\n%+v\n", simRep, simAgain)
+		return 1
+	}
+	fmt.Printf("\n%s(repeated run byte-identical)\n", simRep.String())
+
+	liveRep, err := runLoadLive(&spec, shards, procs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omegabench: live load run: %v\n", err)
+		return 1
+	}
+	fmt.Printf("\n%s", liveRep.String())
+
+	calib := load.Calibrate(&simRep, &liveRep)
+	fmt.Printf("\nsim-vs-live calibration over %d percentile pairs: MAPE %.1f%%, Pearson r %.3f\n",
+		calib.Pairs, calib.MAPEPct, calib.PearsonR)
+
+	points := make([]any, 0, 2*len(spec.Classes)+3)
+	for _, rep := range []*load.Report{&simRep, &liveRep} {
+		for _, c := range rep.Classes {
+			points = append(points, harness.LoadClassPoint{
+				Mode:          rep.Mode,
+				Class:         c.Name,
+				SLOMs:         ms(c.SLO),
+				Requests:      c.Requests,
+				Completed:     c.Completed,
+				Attainment:    c.Attainment,
+				GoodputPerSec: c.Goodput,
+				P50Ms:         ms(c.P50),
+				P95Ms:         ms(c.P95),
+				P99Ms:         ms(c.P99),
+				P999Ms:        ms(c.P999),
+			})
+		}
+		points = append(points, harness.LoadModePoint{
+			Mode:             rep.Mode,
+			Class:            "(all)",
+			Requests:         rep.Requests,
+			Completed:        rep.Completed,
+			ThroughputPerSec: rep.Throughput,
+			GoodputPerSec:    rep.Goodput,
+			JainFairness:     rep.JainFairness,
+		})
+	}
+	points = append(points, harness.LoadCalibrationPoint{
+		Mode:     "sim-vs-live",
+		MAPEPct:  calib.MAPEPct,
+		PearsonR: calib.PearsonR,
+		Pairs:    calib.Pairs,
+	})
+	path, err := harness.WriteBenchJSON(dir, harness.BenchReport{
+		Name:   "latency_under_load",
+		Unit:   "open-loop latency from scheduled arrival (ms), per SLO class; sim (virtual time) vs live (wall clock), one spec",
+		Points: points,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// runLoadLive brings up a live ShardedKV matching the sim substrate and
+// executes the spec against it on the wall clock.
+func runLoadLive(spec *load.Spec, shards, procs int) (load.Report, error) {
+	skv, err := omegasm.NewShardedKV(
+		omegasm.WithShards(shards),
+		omegasm.WithN(procs),
+		omegasm.WithStepInterval(100*time.Microsecond),
+		omegasm.WithTimerUnit(time.Millisecond),
+	)
+	if err != nil {
+		return load.Report{}, err
+	}
+	if err := skv.Start(); err != nil {
+		skv.Close()
+		return load.Report{}, err
+	}
+	defer skv.Close()
+	if !skv.WaitForAgreement(20 * time.Second) {
+		return load.Report{}, fmt.Errorf("shards did not elect a leader in time")
+	}
+	return load.RunLive(spec, skv, load.LiveOptions{})
+}
+
+// ms converts a duration to float milliseconds for the JSON points.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

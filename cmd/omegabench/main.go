@@ -6,6 +6,7 @@
 //
 //	omegabench [-quick] [-seeds N] [-out FILE]
 //	omegabench -bench [-benchdir DIR] [-benchdur D]
+//	omegabench -load [-benchdir DIR] [-loaddur D]
 //	omegabench -benchmd FILE [-benchdir DIR]
 //
 // With -bench it instead runs the performance benchmarks of the
@@ -17,6 +18,15 @@
 // slot window, committed through checkpoint + recycle; sharded KV
 // scaling: aggregate commit capacity vs shard count, batched vs
 // unbatched), so the perf trajectory is recorded run over run.
+//
+// With -load it runs the latency-under-load benchmark: one declarative
+// open-loop workload spec (Poisson arrivals, Zipf keys, mixed SLO
+// classes) executed twice against the simulated sharded store under
+// virtual time — asserting the two runs are byte-identical — and once
+// against a live ShardedKV on the wall clock, writing
+// BENCH_latency_under_load.json with per-class p50/p95/p99/p999,
+// attainment, goodput and fairness for both modes plus the sim-vs-live
+// calibration score (MAPE, Pearson's r).
 //
 // With -benchmd it regenerates the benchmark section of the given
 // markdown file (the README) from the BENCH_*.json files in -benchdir,
@@ -50,6 +60,8 @@ func run() int {
 	benchdir := flag.String("benchdir", ".", "directory for BENCH_*.json files")
 	benchdur := flag.Duration("benchdur", 300*time.Millisecond, "measurement window per benchmark point")
 	benchmd := flag.String("benchmd", "", "markdown file whose benchmark section is regenerated from -benchdir's BENCH_*.json files")
+	loadBench := flag.Bool("load", false, "run the latency-under-load benchmark (sim + live) and emit BENCH_latency_under_load.json")
+	loaddur := flag.Duration("loaddur", 2*time.Second, "arrival window of the -load workload")
 	flag.Parse()
 
 	if *benchmd != "" {
@@ -59,6 +71,9 @@ func run() int {
 		}
 		fmt.Printf("updated benchmark section of %s\n", *benchmd)
 		return 0
+	}
+	if *loadBench {
+		return runLoad(*benchdir, *loaddur)
 	}
 	if *bench {
 		return runBench(*benchdir, *benchdur)
@@ -155,20 +170,27 @@ func runBench(dir string, dur time.Duration) int {
 	}
 	fmt.Printf("wrote %s\n\n", path)
 
-	fmt.Printf("replicated KV throughput (%v per point):\n", dur)
+	fmt.Printf("replicated KV throughput (%v per point, GOMAXPROCS swept):\n", dur)
 	var kvPoints []harness.KVThroughputPoint
 	for _, p := range []struct {
 		n   int
 		sub string
 	}{{3, "atomic"}, {5, "atomic"}, {3, "san"}} {
-		pt, err := benchKVThroughput(p.n, p.sub, dur)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "omegabench: kv bench: %v\n", err)
-			return 1
+		for _, gmp := range []int{1, 2, 4} {
+			var pt harness.KVThroughputPoint
+			var benchErr error
+			harness.WithGoMaxProcs(gmp, func() {
+				pt, benchErr = benchKVThroughput(p.n, p.sub, dur)
+			})
+			if benchErr != nil {
+				fmt.Fprintf(os.Stderr, "omegabench: kv bench: %v\n", benchErr)
+				return 1
+			}
+			pt.GoMaxProcs = gmp
+			kvPoints = append(kvPoints, pt)
+			fmt.Printf("  n=%d %-6s gomaxprocs=%d  %8.0f commits/s  %10.0f reads/s\n",
+				pt.Procs, pt.Substrate, pt.GoMaxProcs, pt.CommitsPerSec, pt.ReadsPerSec)
 		}
-		kvPoints = append(kvPoints, pt)
-		fmt.Printf("  n=%d %-6s  %8.0f commits/s  %10.0f reads/s\n",
-			pt.Procs, pt.Substrate, pt.CommitsPerSec, pt.ReadsPerSec)
 	}
 	path, err = harness.WriteBenchJSON(dir, harness.BenchReport{
 		Name:   "kv_throughput",
@@ -207,15 +229,15 @@ func runBench(dir string, dur time.Duration) int {
 	}
 	fmt.Printf("wrote %s\n\n", path)
 
-	fmt.Printf("sharded KV scaling (deterministic virtual time, 1 tick = 1us):\n")
-	shardedPoints, err := benchShardedKVScaling()
+	fmt.Printf("sharded KV scaling (deterministic virtual time, 1 tick = 1us, GOMAXPROCS swept):\n")
+	shardedPoints, err := benchShardedKVScaling([]int{1, 2, 4})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "omegabench: sharded bench: %v\n", err)
 		return 1
 	}
 	for _, pt := range shardedPoints {
-		fmt.Printf("  shards=%d batch=%2d  %10.0f commits/s  avg batch=%5.1f  speedup vs 1 shard=%.2fx\n",
-			pt.Shards, pt.BatchSize, pt.CommitsPerSec, pt.AvgBatch, pt.SpeedupVsOneShard)
+		fmt.Printf("  shards=%d batch=%2d gomaxprocs=%d  %10.0f commits/s  avg batch=%5.1f  speedup vs 1 shard=%.2fx\n",
+			pt.Shards, pt.BatchSize, pt.GoMaxProcs, pt.CommitsPerSec, pt.AvgBatch, pt.SpeedupVsOneShard)
 	}
 	path, err = harness.WriteBenchJSON(dir, harness.BenchReport{
 		Name:   "shardedkv_scaling",
@@ -436,7 +458,11 @@ func benchKVSustained(n int, substrate string, budget time.Duration) (harness.KV
 // reproducibly even on a single-core benchmark host, where a wall-clock
 // run would only measure the host's core count. Live-host numbers for
 // the same stack are in BenchmarkShardedKVThroughput (go test -bench).
-func benchShardedKVScaling() ([]harness.ShardedKVScalingPoint, error) {
+// The grid is repeated at each GOMAXPROCS in gmps: virtual-time numbers
+// must come out identical at every setting — the recorded proof that the
+// measurement is host-independent (the live KV throughput rows, by
+// contrast, scale with GOMAXPROCS).
+func benchShardedKVScaling(gmps []int) ([]harness.ShardedKVScalingPoint, error) {
 	const (
 		horizonTicks = 30_000 // 30ms of virtual time
 		procs        = 3
@@ -444,58 +470,68 @@ func benchShardedKVScaling() ([]harness.ShardedKVScalingPoint, error) {
 	)
 	virtualSec := float64(horizonTicks) * 1e-6
 	var points []harness.ShardedKVScalingPoint
-	base := map[int]float64{} // batch -> single-shard commits/s
-	for _, batch := range []int{1, 32} {
-		// Size each log so no shard can fill it within the horizon: a
-		// capacity-capped run would fake perfectly linear scaling.
-		slots := 4096
-		if batch == 1 {
-			slots = 8192
-		}
-		for _, shards := range []int{1, 2, 4, 8} {
-			res, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
-				Shards:  shards,
-				N:       procs,
-				Seed:    1,
-				Horizon: horizonTicks,
-				Slots:   slots,
-				// Fixed-capacity logs keep this a pure batching/sharding
-				// measurement (and keep the capacity warning meaningful);
-				// the recycling overhead is measured by the sustained
-				// benchmark instead.
-				CheckpointEvery: -1,
-				BatchSize:       batch,
-				SaturateWindow:  window,
-			})
-			if err != nil {
-				return nil, err
-			}
-			for sh, sr := range res.Shards {
-				if sr.SlotsUsed >= slots {
-					fmt.Printf("  (warning: shards=%d batch=%d: shard %d filled its %d-slot log; rate is capacity-capped)\n",
-						shards, batch, sh, slots)
+	for _, gmp := range gmps {
+		base := map[int]float64{} // batch -> single-shard commits/s
+		var gmpErr error
+		harness.WithGoMaxProcs(gmp, func() {
+			for _, batch := range []int{1, 32} {
+				// Size each log so no shard can fill it within the horizon: a
+				// capacity-capped run would fake perfectly linear scaling.
+				slots := 4096
+				if batch == 1 {
+					slots = 8192
+				}
+				for _, shards := range []int{1, 2, 4, 8} {
+					res, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{
+						Shards:  shards,
+						N:       procs,
+						Seed:    1,
+						Horizon: horizonTicks,
+						Slots:   slots,
+						// Fixed-capacity logs keep this a pure batching/sharding
+						// measurement (and keep the capacity warning meaningful);
+						// the recycling overhead is measured by the sustained
+						// benchmark instead.
+						CheckpointEvery: -1,
+						BatchSize:       batch,
+						SaturateWindow:  window,
+					})
+					if err != nil {
+						gmpErr = err
+						return
+					}
+					for sh, sr := range res.Shards {
+						if sr.SlotsUsed >= slots {
+							fmt.Printf("  (warning: shards=%d batch=%d: shard %d filled its %d-slot log; rate is capacity-capped)\n",
+								shards, batch, sh, slots)
+						}
+					}
+					pt := harness.ShardedKVScalingPoint{
+						Shards:            shards,
+						ProcsPerShard:     procs,
+						BatchSize:         batch,
+						Mode:              "sim-virtual-time",
+						Substrate:         "atomic",
+						GoMaxProcs:        gmp,
+						CommittedCommands: res.TotalCommitted,
+						SlotsUsed:         res.TotalSlots,
+						CommitsPerSec:     float64(res.TotalCommitted) / virtualSec,
+					}
+					if res.TotalSlots > 0 {
+						pt.AvgBatch = float64(res.TotalCommitted) / float64(res.TotalSlots)
+					}
+					if shards == 1 {
+						base[batch] = pt.CommitsPerSec
+					}
+					if base[batch] > 0 {
+						pt.SpeedupVsOneShard = pt.CommitsPerSec / base[batch]
+					}
+					points = append(points, pt)
 				}
 			}
-			pt := harness.ShardedKVScalingPoint{
-				Shards:            shards,
-				ProcsPerShard:     procs,
-				BatchSize:         batch,
-				Mode:              "sim-virtual-time",
-				Substrate:         "atomic",
-				CommittedCommands: res.TotalCommitted,
-				SlotsUsed:         res.TotalSlots,
-				CommitsPerSec:     float64(res.TotalCommitted) / virtualSec,
-			}
-			if res.TotalSlots > 0 {
-				pt.AvgBatch = float64(res.TotalCommitted) / float64(res.TotalSlots)
-			}
-			if shards == 1 {
-				base[batch] = pt.CommitsPerSec
-			}
-			if base[batch] > 0 {
-				pt.SpeedupVsOneShard = pt.CommitsPerSec / base[batch]
-			}
-			points = append(points, pt)
+		})
+		if gmpErr != nil {
+			return nil, gmpErr
 		}
 	}
 	return points, nil

@@ -119,6 +119,16 @@
 // unit tests, and the scaling benchmark measures the architecture's
 // parallel capacity exactly.
 //
+// # Load and SLO harness
+//
+// Package omegasm/load executes declarative workload specs — client
+// populations with Poisson/Gamma/Weibull arrival processes, Zipf key
+// skew, read/write mixes and per-class SLO targets — open-loop against
+// both the live stack (KV/ShardedKV on the wall clock) and the simulated
+// one (SimKV/SimShardedKV under virtual time, via the Requests workload
+// below), then calibrates sim-predicted latency percentiles against
+// live-measured ones. `omegabench -load` records the comparison.
+//
 // Liveness rests on the paper's AWB assumption, which on a live host is
 // mild: at least one live process's scheduler keeps granting it steps at
 // a bounded pace (AWB1), and the other processes' timers eventually

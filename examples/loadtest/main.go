@@ -1,0 +1,119 @@
+// Loadtest: the load harness driving a live sharded store through a
+// mid-run leader crash. A declarative workload spec (Poisson arrivals,
+// Zipf keys, two SLO classes) is expanded into an open-loop schedule and
+// executed against a ShardedKV on the wall clock; halfway through the
+// arrival window the demo crashes one shard's elected leader. Because
+// the runner is open-loop — arrivals keep coming on the clock, latency
+// measured from each request's scheduled arrival — the failover shows up
+// exactly where it happened: p99 spikes in the arrival windows whose
+// requests queued behind the re-election, and the windows before it stay
+// clean.
+//
+//	go run ./examples/loadtest [-rate N] [-dur D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"omegasm"
+	"omegasm/internal/stats"
+	"omegasm/load"
+)
+
+func main() {
+	rate := flag.Float64("rate", 1500, "aggregate arrival rate, requests/sec")
+	dur := flag.Duration("dur", 3*time.Second, "arrival window")
+	flag.Parse()
+
+	spec := load.Spec{
+		Name:         "crash-recovery",
+		Clients:      32,
+		Duration:     *dur,
+		Seed:         11,
+		Rate:         *rate,
+		Process:      load.Poisson,
+		Keys:         512,
+		ZipfS:        1.2,
+		ReadFraction: 0.5,
+		Classes: []load.Class{
+			{Name: "interactive", Weight: 0.7, SLO: 25 * time.Millisecond},
+			{Name: "batch", Weight: 0.3, SLO: 250 * time.Millisecond},
+		},
+	}
+
+	skv, err := omegasm.NewShardedKV(
+		omegasm.WithShards(2),
+		omegasm.WithN(3),
+		omegasm.WithStepInterval(100*time.Microsecond),
+		omegasm.WithTimerUnit(time.Millisecond),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := skv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer skv.Close()
+	if !skv.WaitForAgreement(20 * time.Second) {
+		log.Fatal("shards did not elect a leader in time")
+	}
+	fmt.Printf("store up: 2 shards x 3 procs; running %q at %.0f req/s for %v\n",
+		spec.Name, spec.Rate, spec.Duration)
+
+	// Crash the leader of key 0's shard halfway through the window,
+	// while the open-loop runner keeps issuing arrivals on the clock.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(spec.Duration / 2)
+		shard := skv.ShardFor(0)
+		leader, ok := skv.Fleet().Leader(shard)
+		if !ok {
+			fmt.Println("(crash skipped: shard lost agreement)")
+			return
+		}
+		if err := skv.Fleet().Crash(shard, leader); err != nil {
+			fmt.Printf("(crash failed: %v)\n", err)
+			return
+		}
+		fmt.Printf("crashed process %d, leader of shard %d, at t=%v\n", leader, shard, spec.Duration/2)
+	}()
+
+	rep, results, err := load.RunLiveResults(&spec, skv, load.LiveOptions{Drain: 5 * time.Second})
+	wg.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", rep.String())
+
+	// Windowed percentiles by arrival third: the crash lands mid-run, so
+	// the pre-crash window stays clean and the windows overlapping the
+	// re-election carry the spike.
+	third := spec.Duration / 3
+	names := []string{"first third", "middle third", "last third"}
+	fmt.Printf("p50/p99 by arrival window (crash at t=%v):\n", spec.Duration/2)
+	for w := 0; w < 3; w++ {
+		var lat []float64
+		missed := 0
+		for _, r := range results {
+			if r.At < time.Duration(w)*third || r.At >= time.Duration(w+1)*third {
+				continue
+			}
+			if r.Latency < 0 {
+				missed++
+				continue
+			}
+			lat = append(lat, float64(r.Latency)/float64(time.Millisecond))
+		}
+		s := stats.Summarize(lat)
+		fmt.Printf("  %-12s  n=%4d  p50=%7.2fms  p99=%7.2fms  incomplete=%d\n",
+			names[w], s.N, s.P50, s.P99, missed)
+	}
+	fmt.Println("done: every arrival was issued on the clock and measured from its" +
+		" scheduled time, so whatever the failover cost, it is in the tail above")
+}

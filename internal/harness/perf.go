@@ -56,6 +56,10 @@ type FleetQueryPoint struct {
 type KVThroughputPoint struct {
 	Procs     int    `json:"procs"`
 	Substrate string `json:"substrate"`
+	// GoMaxProcs is the GOMAXPROCS the point ran under (the benchmark
+	// sweeps it, so the table shows how the live stack scales with host
+	// parallelism).
+	GoMaxProcs int `json:"gomaxprocs"`
 	// CommitsPerSec is committed-and-applied log entries per second at the
 	// reading replica; ReadsPerSec is local Get throughput measured
 	// concurrently.
@@ -98,6 +102,11 @@ type ShardedKVScalingPoint struct {
 	BatchSize     int    `json:"batch_size"`
 	Mode          string `json:"mode"`
 	Substrate     string `json:"substrate"`
+	// GoMaxProcs is the GOMAXPROCS the point ran under. The benchmark
+	// sweeps it to record that virtual-time numbers are host-independent:
+	// unlike the live KV throughput rows, these rows are identical at
+	// every GOMAXPROCS.
+	GoMaxProcs int `json:"gomaxprocs"`
 	// CommittedCommands is the aggregate committed-command count over the
 	// horizon; SlotsUsed the consensus slots they consumed; AvgBatch
 	// their ratio (the measured batching factor).
@@ -131,6 +140,64 @@ type KVSustainedPoint struct {
 	// CommitsPerSec is the sustained committed-write rate across the
 	// whole stream, recycling included.
 	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
+// LoadClassPoint is one per-(runner mode, SLO class) row of the
+// latency-under-load benchmark: the same open-loop workload spec
+// executed against the simulated store under virtual time and the live
+// store on the wall clock, reported per SLO class.
+type LoadClassPoint struct {
+	// Mode names the runner ("sim" or "live"); Class the SLO class.
+	Mode  string `json:"mode"`
+	Class string `json:"class"`
+	// SLOMs is the class's latency target in milliseconds.
+	SLOMs float64 `json:"slo_ms"`
+	// Requests and Completed count the class's scheduled and completed
+	// requests; Attainment is the within-SLO fraction of scheduled ones.
+	Requests   int     `json:"requests"`
+	Completed  int     `json:"completed"`
+	Attainment float64 `json:"attainment"`
+	// GoodputPerSec is within-SLO completions per second.
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	// P50Ms through P999Ms are completed-request latency percentiles in
+	// milliseconds, measured from each request's scheduled arrival
+	// (coordinated-omission-free).
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+}
+
+// LoadModePoint is one per-runner rollup row of the latency-under-load
+// benchmark.
+type LoadModePoint struct {
+	// Mode names the runner ("sim" or "live"); Class marks the row as a
+	// rollup.
+	Mode  string `json:"mode"`
+	Class string `json:"class"`
+	// Requests and Completed count all classes together.
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	// ThroughputPerSec counts completions per second, GoodputPerSec only
+	// within-SLO ones.
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	GoodputPerSec    float64 `json:"goodput_per_sec"`
+	// JainFairness is Jain's index over the classes' weight-normalized
+	// goodput.
+	JainFairness float64 `json:"jain_fairness"`
+}
+
+// LoadCalibrationPoint scores the sim runner's predictions against the
+// live runner's measurements for the same spec.
+type LoadCalibrationPoint struct {
+	// Mode marks the row ("sim-vs-live").
+	Mode string `json:"mode"`
+	// MAPEPct is the mean absolute percentage error over the paired
+	// per-class p50/p95/p99/p999 values; PearsonR their correlation;
+	// Pairs how many pairs were compared.
+	MAPEPct  float64 `json:"mape_pct"`
+	PearsonR float64 `json:"pearson_r"`
+	Pairs    int     `json:"pairs"`
 }
 
 // BenchReport is the envelope of a BENCH_*.json file.
@@ -233,14 +300,15 @@ func LockFreeCensusWorkload(procs int) CensusWorkload {
 // census would look artificially healthy because the scheduler, not the
 // lock, does the serializing.
 func BenchCensusContention(procs int, dur time.Duration) CensusContentionPoint {
-	prev := runtime.GOMAXPROCS(0)
-	if procs+1 > prev {
-		runtime.GOMAXPROCS(procs + 1)
-		defer runtime.GOMAXPROCS(prev)
+	want := runtime.GOMAXPROCS(0)
+	if procs+1 > want {
+		want = procs + 1
 	}
-
-	mutexOps := contendedThroughput(MutexCensusWorkload(procs), dur)
-	lockfreeOps := contendedThroughput(LockFreeCensusWorkload(procs), dur)
+	var mutexOps, lockfreeOps float64
+	WithGoMaxProcs(want, func() {
+		mutexOps = contendedThroughput(MutexCensusWorkload(procs), dur)
+		lockfreeOps = contendedThroughput(LockFreeCensusWorkload(procs), dur)
+	})
 
 	return CensusContentionPoint{
 		Procs:             procs,
@@ -249,6 +317,17 @@ func BenchCensusContention(procs int, dur time.Duration) CensusContentionPoint {
 		LockFreeOpsPerSec: lockfreeOps,
 		Speedup:           lockfreeOps / mutexOps,
 	}
+}
+
+// WithGoMaxProcs runs f with GOMAXPROCS set to procs and restores the
+// previous value afterwards. Benchmarks use it to sweep host parallelism
+// — live-stack throughput scales with it, virtual-time numbers must not.
+func WithGoMaxProcs(procs int, f func()) {
+	if prev := runtime.GOMAXPROCS(0); procs != prev {
+		runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	f()
 }
 
 // contendedThroughput runs the workload's accessors and monitor for dur

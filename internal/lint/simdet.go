@@ -36,6 +36,7 @@ var simdetPackages = []string{
 	"internal/consensus",
 	"internal/sched",
 	"internal/core",
+	"omegasm/load",
 }
 
 // simdetFiles lists file-path suffixes that are sim-reachable (or must

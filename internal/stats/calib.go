@@ -1,0 +1,85 @@
+package stats
+
+import "math"
+
+// Calibration metrics for the sim↔live loop: the load harness runs one
+// workload spec against the deterministic simulator and the live store,
+// then quantifies how well the sim's predicted percentiles track the
+// measured ones (MAPE, PearsonR) and how evenly the service treats its
+// SLO classes (JainFairness). The shapes follow the observe-predict-
+// calibrate loop of deterministic cluster simulators: predictions are
+// only trustworthy when their error against live measurements is
+// tracked run over run.
+
+// MAPE returns the mean absolute percentage error of pred against
+// actual, in percent: mean over i of |pred[i]-actual[i]| / |actual[i]|.
+// Pairs whose actual value is zero are skipped (a zero denominator says
+// nothing about relative error); it returns NaN when no usable pair
+// remains or the slices differ in length.
+func MAPE(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		return math.NaN()
+	}
+	var sum float64
+	n := 0
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return 100 * sum / float64(n)
+}
+
+// PearsonR returns the Pearson correlation coefficient of the paired
+// samples xs and ys: +1 for a perfect increasing linear relationship,
+// 0 for none. It returns NaN when fewer than two pairs exist, the
+// lengths differ, or either sample has zero variance.
+func PearsonR(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// JainFairness returns Jain's fairness index over the non-negative
+// allocations xs: (Σx)² / (n·Σx²), which is 1 when every class gets an
+// identical share and 1/n when a single class gets everything. It
+// returns 1 for an empty or all-zero sample (nothing is being divided
+// unfairly).
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}

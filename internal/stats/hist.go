@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// The histogram's bucket layout: values below histSubCount land in
+// unit-width buckets (exact); above, each power-of-two octave is split
+// into histSubCount log-spaced buckets, so a bucket's width is at most
+// lo/histSubCount and the midpoint representative is within
+// 1/(2*histSubCount) ≈ 1.6% of any value it absorbs. That bound is what
+// TestHistogramQuantileErrorBound checks against exact sorted quantiles.
+const (
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+	// histBuckets is the bucket count needed to cover all of int64: the
+	// highest bucket index is 57*histSubCount + 2*histSubCount - 1 for
+	// v = MaxInt64 (shift 63-histSubBits-1, sub-index up to 2*histSubCount).
+	histBuckets = (64 - histSubBits) * histSubCount
+)
+
+// Histogram is a mergeable log-bucketed histogram of non-negative int64
+// observations (latencies in nanoseconds or virtual ticks). Recording is
+// O(1), memory is a fixed ~15KB regardless of sample size, two
+// histograms recorded on different runners merge by bucket-wise
+// addition, and any quantile is recoverable with bounded relative error
+// (≤ 1/(2*histSubCount) from bucketing, exact below histSubCount) — the
+// properties the open-loop load harness needs to aggregate per-request
+// latencies from millions of requests without retaining them.
+//
+// The zero Histogram is ready to use.
+type Histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// histBucketOf maps a non-negative value to its bucket index.
+func histBucketOf(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - histSubBits - 1
+	return shift*histSubCount + int(v>>shift)
+}
+
+// histBucketMid returns the representative (midpoint) value of bucket b.
+func histBucketMid(b int) float64 {
+	if b < histSubCount {
+		return float64(b)
+	}
+	shift := b/histSubCount - 1
+	m := int64(b%histSubCount + histSubCount)
+	lo := m << shift
+	width := int64(1) << shift
+	return float64(lo) + float64(width-1)/2
+}
+
+// Record adds one observation. Negative values clamp to zero (a latency
+// measured across a clock adjustment must not corrupt the layout).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucketOf(v)]++
+	h.sum += v
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+}
+
+// Merge adds other's observations into h. Merging is exact: the merged
+// histogram is identical to one that recorded both sample streams.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.count == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the exact sum of recorded observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the exact smallest recorded observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact largest recorded observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the exact mean of recorded observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the p-th percentile (0..100) of the recorded sample:
+// the representative value of the bucket holding the nearest-rank
+// observation, clamped to the exact observed min/max. The answer is
+// within 1/(2*histSubCount) relative error of the exact sorted-sample
+// percentile (exact for values below histSubCount). Returns 0 on an
+// empty histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return float64(h.min)
+	}
+	if p >= 100 {
+		return float64(h.max)
+	}
+	// Nearest-rank on the bucketed sample: the ceil(p/100 * count)-th
+	// observation in bucket order.
+	rank := uint64(p / 100 * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum > rank {
+			v := histBucketMid(b)
+			if v < float64(h.min) {
+				v = float64(h.min)
+			}
+			if v > float64(h.max) {
+				v = float64(h.max)
+			}
+			return v
+		}
+	}
+	return float64(h.max)
+}
+
+// String summarizes the histogram for debugging output.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d min=%d p50=%.0f p99=%.0f max=%d",
+		h.count, h.Min(), h.Quantile(50), h.Quantile(99), h.Max())
+}

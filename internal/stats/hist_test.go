@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram: count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if q := h.Quantile(50); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	if m := h.Mean(); m != 0 {
+		t.Fatalf("empty mean = %v", m)
+	}
+}
+
+func TestHistogramExactBelowLinearRange(t *testing.T) {
+	// Values below histSubCount land in unit buckets: quantiles are exact.
+	var h Histogram
+	for v := int64(0); v < histSubCount; v++ {
+		h.Record(v)
+	}
+	for _, p := range []float64{0, 25, 50, 75, 100} {
+		exact := Percentile(seq(histSubCount), p)
+		got := h.Quantile(p)
+		if math.Abs(got-exact) > 1 {
+			t.Errorf("p%v = %v, exact %v", p, got, exact)
+		}
+	}
+	if h.Min() != 0 || h.Max() != histSubCount-1 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func seq(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return xs
+}
+
+// TestHistogramBucketsContinuous checks that the bucket index function
+// is monotone and gap-free across the linear/log boundary and octave
+// boundaries, so no value can fall between buckets.
+func TestHistogramBucketsContinuous(t *testing.T) {
+	last := -1
+	for _, v := range []int64{0, 1, histSubCount - 1, histSubCount, 2*histSubCount - 1,
+		2 * histSubCount, 1 << 20, math.MaxInt64 / 2, math.MaxInt64} {
+		b := histBucketOf(v)
+		if b <= last && v != 0 {
+			t.Fatalf("bucket(%d) = %d not past %d", v, b, last)
+		}
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucket(%d) = %d out of range", v, b)
+		}
+		last = b
+	}
+	// Exhaustively: consecutive values never skip more than one bucket
+	// and never decrease, over the first few octaves.
+	prev := histBucketOf(0)
+	for v := int64(1); v < 1<<12; v++ {
+		b := histBucketOf(v)
+		if b < prev || b > prev+1 {
+			t.Fatalf("bucket(%d) = %d after bucket(%d) = %d", v, b, v-1, prev)
+		}
+		prev = b
+	}
+}
+
+// TestHistogramQuantileErrorBound is the satellite's quantile check: for
+// heavy-tailed samples, every reported quantile is within the layout's
+// relative error bound of the exact sorted-sample quantile.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Lognormal-ish latencies spanning ~5 orders of magnitude.
+		v := int64(math.Exp(rng.NormFloat64()*2 + 8))
+		h.Record(v)
+		xs = append(xs, float64(v))
+	}
+	sort.Float64s(xs)
+	// Bucket midpoint error ≤ 1/(2*histSubCount); allow the same again
+	// for the rank-convention difference between nearest-rank (histogram)
+	// and interpolation (Percentile) — adjacent order statistics of a
+	// 20k-sample differ by far less than a bucket width at these ranks.
+	tol := 2.0 / float64(2*histSubCount)
+	for _, p := range []float64{50, 90, 95, 99, 99.9} {
+		exact := Percentile(xs, p)
+		got := h.Quantile(p)
+		if math.Abs(got-exact) > exact*tol+1 {
+			t.Errorf("p%v = %v, exact %v (tol %.1f%%)", p, got, exact, 100*tol)
+		}
+	}
+}
+
+func TestHistogramMergeMatchesCombinedRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, both Histogram
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1 << 20))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Sum() != both.Sum() || a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merge: count/sum/min/max %d/%d/%d/%d vs %d/%d/%d/%d",
+			a.Count(), a.Sum(), a.Min(), a.Max(), both.Count(), both.Sum(), both.Min(), both.Max())
+	}
+	for _, p := range []float64{1, 50, 99, 99.9} {
+		if a.Quantile(p) != both.Quantile(p) {
+			t.Errorf("p%v: merged %v vs combined %v", p, a.Quantile(p), both.Quantile(p))
+		}
+	}
+	// Merging an empty or nil histogram changes nothing.
+	before := a.Count()
+	a.Merge(&Histogram{})
+	a.Merge(nil)
+	if a.Count() != before {
+		t.Errorf("merge of empty changed count: %d -> %d", before, a.Count())
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative record: count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+}
+
+func TestSummaryP95P999(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..1000
+	}
+	s := Summarize(xs)
+	if math.Abs(s.P95-950.05) > 0.5 {
+		t.Errorf("p95 = %v", s.P95)
+	}
+	if math.Abs(s.P999-999.001) > 0.5 {
+		t.Errorf("p999 = %v", s.P999)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P95 || s.P95 > s.P99 || s.P99 > s.P999 || s.P999 > s.Max {
+		t.Errorf("percentiles not monotone: %+v", s)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	if got := MAPE([]float64{110, 90}, []float64{100, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("MAPE = %v, want 10", got)
+	}
+	if got := MAPE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Errorf("perfect MAPE = %v", got)
+	}
+	// Zero actuals are skipped, not divided by.
+	if got := MAPE([]float64{5, 110}, []float64{0, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("MAPE with zero actual = %v, want 10", got)
+	}
+	if got := MAPE([]float64{1}, []float64{0}); !math.IsNaN(got) {
+		t.Errorf("MAPE with no usable pair = %v, want NaN", got)
+	}
+	if got := MAPE([]float64{1, 2}, []float64{1}); !math.IsNaN(got) {
+		t.Errorf("MAPE with mismatched lengths = %v, want NaN", got)
+	}
+}
+
+func TestPearsonR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := PearsonR(xs, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	if got := PearsonR(xs, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-9 {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if got := PearsonR(xs, []float64{5, 5, 5, 5}); !math.IsNaN(got) {
+		t.Errorf("zero-variance sample = %v, want NaN", got)
+	}
+	if got := PearsonR([]float64{1}, []float64{1}); !math.IsNaN(got) {
+		t.Errorf("single pair = %v, want NaN", got)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if got := JainFairness([]float64{3, 3, 3}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("equal shares = %v, want 1", got)
+	}
+	if got := JainFairness([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("single hog of 4 = %v, want 0.25", got)
+	}
+	if got := JainFairness(nil); got != 1 {
+		t.Errorf("empty = %v, want 1", got)
+	}
+	if got := JainFairness([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero = %v, want 1", got)
+	}
+}

@@ -13,10 +13,12 @@ import (
 
 // Summary describes a sample of float64 observations.
 type Summary struct {
-	N             int
-	Min, Max      float64
-	Mean, Stddev  float64
-	P50, P90, P99 float64
+	N            int
+	Min, Max     float64
+	Mean, Stddev float64
+	// P50..P999 are interpolated percentiles of the sample; P999 is the
+	// 99.9th (the deep-tail latency percentile the load harness reports).
+	P50, P90, P95, P99, P999 float64
 }
 
 // Summarize computes a Summary; it returns the zero Summary for an empty
@@ -45,7 +47,9 @@ func Summarize(xs []float64) Summary {
 	}
 	s.P50 = Percentile(sorted, 50)
 	s.P90 = Percentile(sorted, 90)
+	s.P95 = Percentile(sorted, 95)
 	s.P99 = Percentile(sorted, 99)
+	s.P999 = Percentile(sorted, 99.9)
 	return s
 }
 

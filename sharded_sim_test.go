@@ -163,3 +163,46 @@ func TestSimShardedKVSaturationScalesWithShards(t *testing.T) {
 			four.TotalSlots, four.TotalCommitted)
 	}
 }
+
+// TestSimShardedKVOpenLoopReplay routes an open-loop request stream
+// across shards and checks both completion and byte-identical replay.
+func TestSimShardedKVOpenLoopReplay(t *testing.T) {
+	reqs := make([]omegasm.SimRequest, 48)
+	for i := range reqs {
+		reqs[i] = omegasm.SimRequest{
+			At:    2_000 + int64(i)*2_500,
+			Key:   uint16(i * 37 % 97),
+			Val:   uint16(300 + i),
+			Read:  i%4 == 3,
+			Class: i % 3,
+		}
+	}
+	cfg := omegasm.SimShardedKVConfig{
+		Shards: 4, N: 3, Seed: 31, Horizon: 600_000, Requests: reqs,
+	}
+	a, err := omegasm.SimShardedKV(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) != len(reqs) {
+		t.Fatalf("got %d request results, want %d", len(a.Requests), len(reqs))
+	}
+	for i, rr := range a.Requests {
+		if rr.Index != i {
+			t.Fatalf("result %d has Index %d", i, rr.Index)
+		}
+		if rr.Done < 0 {
+			t.Fatalf("request %d incomplete at horizon (end=%d)", i, a.End)
+		}
+		if rr.Done < rr.At {
+			t.Fatalf("request %d completed at %d before arrival %d", i, rr.Done, rr.At)
+		}
+	}
+	b, err := omegasm.SimShardedKV(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different sharded results")
+	}
+}

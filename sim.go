@@ -29,6 +29,45 @@ type SimCommit struct {
 	Key, Val uint16
 }
 
+// SimRequest is one open-loop workload request of a simulated run: it
+// arrives at virtual time At on the clock, never gated on earlier
+// requests' completions — the open-loop client model of the load
+// harness, as opposed to the closed-loop SimWrite/SaturateWindow
+// workloads. A write is submitted to whichever process the oracle then
+// names leader and resubmitted across leadership changes until it
+// commits; a read is answered by the freshest live replica's applied
+// state at activation. Per-request completion times come back in
+// SimRequestResult, so virtual-time latency percentiles can be compared
+// against live-measured ones.
+type SimRequest struct {
+	// At is the arrival time in virtual ticks.
+	At int64
+	// Key and Val form the command for a write; reads use Key only.
+	Key, Val uint16
+	// Read selects a local read instead of a replicated write.
+	Read bool
+	// Class is an opaque workload-class tag echoed into the result (the
+	// load harness keys SLO classes on it).
+	Class int
+}
+
+// SimRequestResult is the reproducible outcome of one SimRequest.
+type SimRequestResult struct {
+	// Index is the request's position in the submitted Requests slice.
+	Index int
+	// At echoes the request's arrival time in virtual ticks.
+	At int64
+	// Done is the virtual time the request completed — a write's commit
+	// confirmation, a read's local answer — or -1 if it was still
+	// outstanding at the horizon. Done - At is the request's open-loop
+	// latency in ticks, arrival queueing included.
+	Done int64
+	// Read echoes the request's Read flag.
+	Read bool
+	// Class echoes the request's workload-class tag.
+	Class int
+}
+
 // SimKVConfig parameterizes one deterministic run of the full stack —
 // Omega election, Disk-Paxos replicated log, key-value store — under the
 // virtual-time engine. Identical configurations (including Seed) produce
@@ -62,6 +101,11 @@ type SimKVConfig struct {
 	// Writes is the workload. Entries may be in any order; they are
 	// submitted at their At times.
 	Writes []SimWrite
+	// Requests is the open-loop workload: requests arrive at their At
+	// times regardless of earlier completions, and each one's completion
+	// time is reported in the result's Requests (parallel bookkeeping to
+	// Writes, which tracks only a delivered count).
+	Requests []SimRequest
 }
 
 // SimKVResult is the outcome of a simulated run. For a fixed SimKVConfig
@@ -101,6 +145,10 @@ type SimKVResult struct {
 	// decided; with batching it lags len(Committed) by the average batch
 	// size.
 	SlotsUsed int
+	// Requests holds one result per configured open-loop SimRequest,
+	// ordered by Index (the submitted slice's order). Empty when the
+	// config had no Requests.
+	Requests []SimRequestResult
 	// End is the virtual time at which the run ended.
 	End int64
 }
@@ -130,6 +178,9 @@ func (cfg *SimKVConfig) normalize() (simShardConfig, error) {
 		crashes:   cfg.Crashes,
 		writes:    cfg.Writes,
 	}
+	for i, r := range cfg.Requests {
+		shard.requests = append(shard.requests, simIndexedRequest{req: r, index: i})
+	}
 	return shard, shard.validate()
 }
 
@@ -156,10 +207,21 @@ type simShardConfig struct {
 	ckptEvery int // resolved: 0 means off
 	crashes   map[int]int64
 	writes    []SimWrite
+	// requests is the shard's slice of the open-loop workload, each entry
+	// carrying its index in the caller's Requests slice.
+	requests []simIndexedRequest
 	// window, when positive, adds a closed-loop load generator that keeps
 	// that many commands queued on the shard's leader (the saturation
 	// workload of the scaling benchmark).
 	window int
+}
+
+// simIndexedRequest pairs an open-loop request with its position in the
+// caller's Requests slice, so sharded runs can reassemble results in
+// submission order.
+type simIndexedRequest struct {
+	req   SimRequest
+	index int
 }
 
 func (c *simShardConfig) validate() error {
@@ -212,6 +274,15 @@ func (c *simShardConfig) validate() error {
 			return fmt.Errorf("omegasm: write time %d is negative", wr.At)
 		}
 	}
+	for _, ir := range c.requests {
+		r := ir.req
+		if !r.Read && consensus.IsReserved(consensus.EncodeSet(r.Key, r.Val), c.batch > 1 || c.ckptEvery > 0) {
+			return fmt.Errorf("omegasm: request key/value pair (0x%04x, 0x%04x) is reserved", r.Key, r.Val)
+		}
+		if r.At < 0 {
+			return fmt.Errorf("omegasm: request time %d is negative", r.At)
+		}
+	}
 	if c.window < 0 {
 		return fmt.Errorf("omegasm: saturation window %d is negative", c.window)
 	}
@@ -226,6 +297,7 @@ type simRun struct {
 	kvs     []*consensus.KV
 	ids     []int // replica machine ids, for wake notifications
 	writer  *simWriter
+	open    *simOpenLoad
 }
 
 // live reports whether process p is scheduled to be alive at time now.
@@ -396,6 +468,113 @@ func (w *simWriter) Step(now vclock.Time) engine.Hint {
 	return engine.At(wake)
 }
 
+// simOpenRequest is one open-loop request in flight or completed. A
+// write carries the same submission bookkeeping as simActiveWrite
+// (activation watermarks, submit target and drop generation); a read
+// completes at activation.
+type simOpenRequest struct {
+	req         SimRequest
+	index       int
+	cmd         uint32
+	marks       []int
+	submittedTo int
+	submitGen   uint64
+	done        bool
+	doneAt      vclock.Time
+}
+
+// simOpenLoad is the open-loop arrival machine of the load harness:
+// requests activate at their scheduled virtual times — never gated on
+// earlier completions, exactly the open-loop client model — and each
+// one's completion time is recorded. Reads are answered at activation
+// from the freshest live replica's applied state; writes follow the
+// simWriter protocol (submit to the agreed leader, confirm against
+// activation watermarks, resubmit when leadership moves or the queue is
+// swept). While work is outstanding the machine runs adversary-paced
+// (WakeNow), so activation and confirmation granularity is the same
+// pacing noise every other machine of the model experiences.
+type simOpenLoad struct {
+	r      *simRun
+	reqs   []*simOpenRequest // sorted by (At, submission index)
+	next   int
+	active []*simOpenRequest // writes awaiting commit confirmation
+}
+
+//omegalint:allow wakehint sim-only machine: WakeNow only while requests are outstanding, and the seeded adversary paces every poll
+func (w *simOpenLoad) Step(now vclock.Time) engine.Hint {
+	// Confirm outstanding writes first, so a request activated this tick
+	// cannot match a historical commit.
+	live := w.active[:0]
+	for _, ar := range w.active {
+		for i, kv := range w.r.kvs {
+			if w.r.live(i, now) && kv.CommittedContainsAfter(ar.marks[i], ar.cmd) {
+				ar.done = true
+				ar.doneAt = now
+				break
+			}
+		}
+		if !ar.done {
+			live = append(live, ar)
+		}
+	}
+	w.active = live
+	for w.next < len(w.reqs) && w.reqs[w.next].req.At <= now {
+		ar := w.reqs[w.next]
+		w.next++
+		if ar.req.Read {
+			// A read is local: answered by the freshest live replica's
+			// applied state the moment the client's request is scheduled.
+			// Its open-loop latency is the arrival queueing alone.
+			freshest := -1
+			for i := range w.r.kvs {
+				if w.r.live(i, now) && (freshest < 0 || w.r.kvs[i].CommittedLen() > w.r.kvs[freshest].CommittedLen()) {
+					freshest = i
+				}
+			}
+			if freshest >= 0 {
+				w.r.kvs[freshest].Get(ar.req.Key)
+			}
+			ar.done = true
+			ar.doneAt = now
+			continue
+		}
+		ar.cmd = consensus.EncodeSet(ar.req.Key, ar.req.Val)
+		ar.submittedTo = -1
+		for _, kv := range w.r.kvs {
+			ar.marks = append(ar.marks, kv.CommittedLen())
+		}
+		w.active = append(w.active, ar)
+	}
+	if l, ok := w.r.agreedLeader(now); ok && len(w.active) > 0 {
+		gen := w.r.kvs[l].DropGeneration()
+		notify := false
+		for _, ar := range w.active {
+			// Submit once per reign: resubmit on a leader change, and when
+			// a flap swept the leader's queue since the submit.
+			if ar.submittedTo != l || ar.submitGen != gen {
+				if err := w.r.kvs[l].Set(ar.req.Key, ar.req.Val); err == nil {
+					ar.submittedTo, ar.submitGen = l, gen
+					notify = true
+				}
+			}
+		}
+		if notify {
+			w.r.sim.Notify(w.r.ids[l])
+		}
+	}
+	if len(w.active) > 0 {
+		return engine.Now()
+	}
+	if w.next < len(w.reqs) {
+		at := w.reqs[w.next].req.At
+		if at <= now {
+			at = now + 1
+		}
+		return engine.At(at)
+	}
+	return engine.Park() // every request completed; nothing will reactivate us
+}
+
 // simLoadWriter is the closed-loop saturation workload of the scaling
 // benchmark: it keeps window commands queued on the shard's agreed
 // leader, refilling as batches commit, so the shard's consensus pipeline
@@ -525,6 +704,19 @@ func addSimShard(sim *engine.Sim, cfg simShardConfig) (*simRun, error) {
 		}
 		sim.Add(run.writer, engine.WithFirstWakeAt(first))
 	}
+	if len(cfg.requests) > 0 {
+		reqs := make([]*simOpenRequest, 0, len(cfg.requests))
+		for _, ir := range cfg.requests {
+			reqs = append(reqs, &simOpenRequest{req: ir.req, index: ir.index})
+		}
+		sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].req.At < reqs[j].req.At })
+		run.open = &simOpenLoad{r: run, reqs: reqs}
+		first := vclock.Time(1)
+		if reqs[0].req.At > first {
+			first = reqs[0].req.At
+		}
+		sim.Add(run.open, engine.WithFirstWakeAt(first))
+	}
 	if cfg.window > 0 {
 		sim.Add(&simLoadWriter{r: run, window: cfg.window}, engine.WithFirstWakeAt(16))
 	}
@@ -542,6 +734,22 @@ func (r *simRun) collect(end vclock.Time) *SimKVResult {
 	}
 	if r.writer != nil {
 		res.Delivered = r.writer.delivered
+	}
+	if r.open != nil {
+		for _, ar := range r.open.reqs {
+			rr := SimRequestResult{
+				Index: ar.index,
+				At:    ar.req.At,
+				Done:  -1,
+				Read:  ar.req.Read,
+				Class: ar.req.Class,
+			}
+			if ar.done {
+				rr.Done = ar.doneAt
+			}
+			res.Requests = append(res.Requests, rr)
+		}
+		sort.Slice(res.Requests, func(i, j int) bool { return res.Requests[i].Index < res.Requests[j].Index })
 	}
 	freshest := -1
 	for p := 0; p < n; p++ {
@@ -638,6 +846,11 @@ type SimShardedKVConfig struct {
 	// shard (the ShardFor hash) and is retried across that shard's
 	// leadership changes until committed.
 	Writes []SimWrite
+	// Requests is the open-loop workload: each request routes to its
+	// key's shard and arrives there at its At time regardless of earlier
+	// completions; per-request completion times come back in the result's
+	// Requests, in submission order.
+	Requests []SimRequest
 	// SaturateWindow, when positive, adds one closed-loop load generator
 	// per shard that keeps that many commands queued on the shard's
 	// leader — the saturation workload whose committed count measures
@@ -663,6 +876,10 @@ type SimShardedKVResult struct {
 	// Delivered counts tracked workload writes whose commit was confirmed
 	// before the horizon, across all shards.
 	Delivered int
+	// Requests holds one result per configured open-loop SimRequest,
+	// merged across shards and ordered by Index (the submitted slice's
+	// order). Empty when the config had no Requests.
+	Requests []SimRequestResult
 	// End is the virtual time at which the run ended.
 	End int64
 }
@@ -708,6 +925,10 @@ func (cfg *SimShardedKVConfig) normalize() ([]simShardConfig, error) {
 		sh := &shards[shardIndex(wr.Key, cfg.Shards)]
 		sh.writes = append(sh.writes, wr)
 	}
+	for i, r := range cfg.Requests {
+		sh := &shards[shardIndex(r.Key, cfg.Shards)]
+		sh.requests = append(sh.requests, simIndexedRequest{req: r, index: i})
+	}
 	for s := range shards {
 		if err := shards[s].validate(); err != nil {
 			return nil, fmt.Errorf("omegasm: shard %d: %w", s, err)
@@ -749,9 +970,11 @@ func SimShardedKV(cfg SimShardedKVConfig) (*SimShardedKVResult, error) {
 		res.TotalCommitted += sr.CommittedTotal
 		res.TotalSlots += sr.SlotsUsed
 		res.Delivered += sr.Delivered
+		res.Requests = append(res.Requests, sr.Requests...)
 		for k, v := range sr.State {
 			res.State[k] = v
 		}
 	}
+	sort.Slice(res.Requests, func(i, j int) bool { return res.Requests[i].Index < res.Requests[j].Index })
 	return res, nil
 }
