@@ -9,6 +9,10 @@
 //	omegabench -load [-benchdir DIR] [-loaddur D]
 //	omegabench -benchmd FILE [-benchdir DIR]
 //
+// Any mode accepts -cpuprofile FILE and -memprofile FILE, which write
+// pprof profiles covering the whole run — the reproducible way to find
+// hot-path work (see README "Profiling the hot paths").
+//
 // With -bench it instead runs the performance benchmarks of the
 // instrumentation, query and replication layers and writes
 // machine-readable BENCH_<name>.json files (census contention: lock-free
@@ -35,14 +39,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"runtime/pprof"
 
 	"omegasm"
 	"omegasm/internal/harness"
@@ -59,10 +68,42 @@ func run() int {
 	bench := flag.Bool("bench", false, "run the perf benchmarks and emit BENCH_*.json instead of the experiments")
 	benchdir := flag.String("benchdir", ".", "directory for BENCH_*.json files")
 	benchdur := flag.Duration("benchdur", 300*time.Millisecond, "measurement window per benchmark point")
+	benchonly := flag.String("benchonly", "", "with -bench: only run benchmarks whose name contains this substring")
+	benchgmp := flag.Int("benchgmp", 0, "with -bench: restrict GOMAXPROCS-swept benchmarks to this single value (0: full sweep); pair with -cpuprofile to profile one contention point")
 	benchmd := flag.String("benchmd", "", "markdown file whose benchmark section is regenerated from -benchdir's BENCH_*.json files")
 	loadBench := flag.Bool("load", false, "run the latency-under-load benchmark (sim + live) and emit BENCH_latency_under_load.json")
 	loaddur := flag.Duration("loaddur", 2*time.Second, "arrival window of the -load workload")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			runtime.GC() // flush recent frees so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *benchmd != "" {
 		if err := updateBenchMarkdown(*benchmd, *benchdir); err != nil {
@@ -76,7 +117,7 @@ func run() int {
 		return runLoad(*benchdir, *loaddur)
 	}
 	if *bench {
-		return runBench(*benchdir, *benchdur)
+		return runBench(*benchdir, *benchdur, *benchonly, *benchgmp)
 	}
 
 	var w io.Writer = os.Stdout
@@ -126,157 +167,208 @@ func run() int {
 }
 
 // runBench measures the instrumentation and query layers and writes one
-// BENCH_*.json per benchmark.
-func runBench(dir string, dur time.Duration) int {
-	fmt.Printf("census contention (monitored, %v per point):\n", dur)
-	var censusPoints []harness.CensusContentionPoint
-	for _, procs := range []int{2, 4, 8, 16} {
-		pt := harness.BenchCensusContention(procs, dur)
-		censusPoints = append(censusPoints, pt)
-		fmt.Printf("  procs=%2d  mutex=%8.2fM ops/s  lockfree=%8.2fM ops/s  speedup=%.2fx\n",
-			pt.Procs, pt.MutexOpsPerSec/1e6, pt.LockFreeOpsPerSec/1e6, pt.Speedup)
+// BENCH_*.json per benchmark. A non-empty only restricts the run to
+// benchmarks whose name contains it (regenerate one file, or profile one
+// hot path in isolation); a non-zero gmp collapses GOMAXPROCS sweeps to
+// that single value so a -cpuprofile captures one contention point.
+func runBench(dir string, dur time.Duration, only string, gmp int) int {
+	gmpSweep := []int{1, 2, 4}
+	if gmp > 0 {
+		gmpSweep = []int{gmp}
 	}
-	path, err := harness.WriteBenchJSON(dir, harness.BenchReport{
-		Name:   "census_contention",
-		Unit:   "instrumented register accesses/sec (all processes)",
-		Points: censusPoints,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
-		return 1
-	}
-	fmt.Printf("wrote %s\n\n", path)
-
-	fmt.Printf("fleet leader queries (%v per point):\n", dur)
-	var fleetPoints []harness.FleetQueryPoint
-	for _, clusters := range []int{1, 4, 8} {
-		pt, err := benchFleetQueries(clusters, 3, 8, dur)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "omegabench: fleet bench: %v\n", err)
-			return 1
-		}
-		fleetPoints = append(fleetPoints, pt)
-		fmt.Printf("  clusters=%2d  %8.2fM queries/s (%d queriers)\n",
-			pt.Clusters, pt.QueriesPerSec/1e6, pt.Queriers)
-	}
-	path, err = harness.WriteBenchJSON(dir, harness.BenchReport{
-		Name:   "fleet_leader_queries",
-		Unit:   "Leader() queries/sec (all queriers)",
-		Points: fleetPoints,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
-		return 1
-	}
-	fmt.Printf("wrote %s\n\n", path)
-
-	fmt.Printf("replicated KV throughput (%v per point, GOMAXPROCS swept):\n", dur)
-	var kvPoints []harness.KVThroughputPoint
-	for _, p := range []struct {
-		n   int
-		sub string
-	}{{3, "atomic"}, {5, "atomic"}, {3, "san"}} {
-		for _, gmp := range []int{1, 2, 4} {
-			var pt harness.KVThroughputPoint
-			var benchErr error
-			harness.WithGoMaxProcs(gmp, func() {
-				pt, benchErr = benchKVThroughput(p.n, p.sub, dur)
-			})
-			if benchErr != nil {
-				fmt.Fprintf(os.Stderr, "omegabench: kv bench: %v\n", benchErr)
-				return 1
+	benches := []struct {
+		name string
+		run  func() (harness.BenchReport, error)
+	}{
+		{"census_contention", func() (harness.BenchReport, error) {
+			fmt.Printf("census contention (monitored, %v per point):\n", dur)
+			var points []harness.CensusContentionPoint
+			for _, procs := range []int{2, 4, 8, 16} {
+				pt := harness.BenchCensusContention(procs, dur)
+				points = append(points, pt)
+				fmt.Printf("  procs=%2d  mutex=%8.2fM ops/s  lockfree=%8.2fM ops/s  speedup=%.2fx\n",
+					pt.Procs, pt.MutexOpsPerSec/1e6, pt.LockFreeOpsPerSec/1e6, pt.Speedup)
 			}
-			pt.GoMaxProcs = gmp
-			kvPoints = append(kvPoints, pt)
-			fmt.Printf("  n=%d %-6s gomaxprocs=%d  %8.0f commits/s  %10.0f reads/s\n",
-				pt.Procs, pt.Substrate, pt.GoMaxProcs, pt.CommitsPerSec, pt.ReadsPerSec)
+			return harness.BenchReport{
+				Name:   "census_contention",
+				Unit:   "instrumented register accesses/sec (all processes)",
+				Points: points,
+			}, nil
+		}},
+		{"fleet_leader_queries", func() (harness.BenchReport, error) {
+			fmt.Printf("fleet leader queries (%v per point):\n", dur)
+			var points []harness.FleetQueryPoint
+			for _, clusters := range []int{1, 4, 8} {
+				pt, err := benchFleetQueries(clusters, 3, 8, dur)
+				if err != nil {
+					return harness.BenchReport{}, err
+				}
+				points = append(points, pt)
+				fmt.Printf("  clusters=%2d  %8.2fM queries/s (%d queriers)\n",
+					pt.Clusters, pt.QueriesPerSec/1e6, pt.Queriers)
+			}
+			return harness.BenchReport{
+				Name:   "fleet_leader_queries",
+				Unit:   "Leader() queries/sec (all queriers)",
+				Points: points,
+			}, nil
+		}},
+		{"kv_throughput", func() (harness.BenchReport, error) {
+			fmt.Printf("replicated KV throughput (best of %d x %v per point, GOMAXPROCS swept):\n",
+				kvThroughputRuns, dur)
+			var points []harness.KVThroughputPoint
+			for _, p := range []struct {
+				n   int
+				sub string
+			}{{3, "atomic"}, {5, "atomic"}, {3, "san"}} {
+				// Interleave the GOMAXPROCS points round-robin rather than
+				// running each point's windows as a block: host load drifts
+				// over the minute a sweep takes, and back-to-back blocks
+				// would hand one point systematically quieter conditions.
+				// Round-robin gives every point the same noise distribution,
+				// so differences between rows are the setting, not the drift.
+				best := make(map[int]harness.KVThroughputPoint, len(gmpSweep))
+				for run := 0; run < kvThroughputRuns; run++ {
+					for _, gmp := range gmpSweep {
+						var pt harness.KVThroughputPoint
+						var benchErr error
+						harness.WithGoMaxProcs(gmp, func() {
+							pt, benchErr = benchKVThroughput(p.n, p.sub, dur)
+						})
+						if benchErr != nil {
+							return harness.BenchReport{}, benchErr
+						}
+						if pt.CommitsPerSec > best[gmp].CommitsPerSec {
+							pt.GoMaxProcs = gmp
+							best[gmp] = pt
+						}
+					}
+				}
+				for _, gmp := range gmpSweep {
+					pt := best[gmp]
+					points = append(points, pt)
+					fmt.Printf("  n=%d %-6s gomaxprocs=%d  %8.0f commits/s  %10.0f reads/s\n",
+						pt.Procs, pt.Substrate, pt.GoMaxProcs, pt.CommitsPerSec, pt.ReadsPerSec)
+				}
+			}
+			return harness.BenchReport{
+				Name:   "kv_throughput",
+				Unit:   "committed log entries/sec and local reads/sec (64 reads per committed write)",
+				Points: points,
+			}, nil
+		}},
+		{"kv_sustained", func() (harness.BenchReport, error) {
+			fmt.Printf("sustained KV stream (10x the slot window, checkpoint recycling, %v cap per point):\n", 20*dur)
+			var points []harness.KVSustainedPoint
+			for _, p := range []struct {
+				n   int
+				sub string
+			}{{3, "atomic"}, {3, "san"}} {
+				pt, err := benchKVSustained(p.n, p.sub, 20*dur)
+				if err != nil {
+					return harness.BenchReport{}, err
+				}
+				points = append(points, pt)
+				fmt.Printf("  n=%d %-6s  %8.0f commits/s over %d/%d commands (%d-slot window, %d checkpoints)\n",
+					pt.Procs, pt.Substrate, pt.CommitsPerSec, pt.Committed, pt.TargetCommands, pt.Slots, pt.Checkpoints)
+			}
+			return harness.BenchReport{
+				Name:   "kv_sustained",
+				Unit:   "committed writes/sec over a stream 10x the log's slot window (checkpoint + recycle on the write path)",
+				Points: points,
+			}, nil
+		}},
+		{"read_path", func() (harness.BenchReport, error) {
+			fmt.Printf("read path (lease vs freshest vs quorum, %v per point):\n", dur)
+			var points []harness.ReadPathPoint
+			for _, mode := range []omegasm.ReadMode{
+				omegasm.ReadLease, omegasm.ReadFreshest, omegasm.ReadQuorum,
+			} {
+				pt, err := benchReadPath(3, mode, dur)
+				if err != nil {
+					return harness.BenchReport{}, err
+				}
+				points = append(points, pt)
+				fmt.Printf("  n=%d %-8s  %12.0f reads/s  p50=%7.2fus  p99=%7.2fus\n",
+					pt.Procs, pt.Mode, pt.ReadsPerSec, pt.P50Usec, pt.P99Usec)
+			}
+			return harness.BenchReport{
+				Name:   "read_path",
+				Unit:   "linearizable-path Get/sec by read mode, with latency percentiles (atomic substrate, idle write load)",
+				Points: points,
+			}, nil
+		}},
+		{"shardedkv_scaling", func() (harness.BenchReport, error) {
+			fmt.Printf("sharded KV scaling (deterministic virtual time, 1 tick = 1us, GOMAXPROCS swept):\n")
+			points, err := benchShardedKVScaling([]int{1, 2, 4})
+			if err != nil {
+				return harness.BenchReport{}, err
+			}
+			for _, pt := range points {
+				fmt.Printf("  shards=%d batch=%2d gomaxprocs=%d  %10.0f commits/s  avg batch=%5.1f  speedup vs 1 shard=%.2fx\n",
+					pt.Shards, pt.BatchSize, pt.GoMaxProcs, pt.CommitsPerSec, pt.AvgBatch, pt.SpeedupVsOneShard)
+			}
+			return harness.BenchReport{
+				Name:   "shardedkv_scaling",
+				Unit:   "aggregate committed commands/sec (virtual time: every machine owns a processor), batched vs unbatched, atomic substrate",
+				Points: points,
+			}, nil
+		}},
+		{"engine_wakeup", func() (harness.BenchReport, error) {
+			fmt.Printf("engine wakeup: polling vs wake-driven KV commits (%v per point):\n", dur)
+			var points []harness.EngineWakeupPoint
+			for _, p := range []struct {
+				procs    int
+				interval time.Duration
+			}{{3, 200 * time.Microsecond}, {5, 200 * time.Microsecond}, {3, time.Millisecond}} {
+				pt, err := harness.BenchEngineWakeup(p.procs, p.interval, dur)
+				if err != nil {
+					return harness.BenchReport{}, err
+				}
+				points = append(points, pt)
+				fmt.Printf("  n=%d tick=%4.0fus  polling=%8.0f commits/s  wake=%8.0f commits/s  speedup=%.1fx\n",
+					pt.Procs, pt.IntervalUsec, pt.PollingCommitsPerSec, pt.WakeCommitsPerSec, pt.Speedup)
+			}
+			return harness.BenchReport{
+				Name:   "engine_wakeup",
+				Unit:   "synchronous committed writes/sec, polling driver vs wake-driven engine",
+				Points: points,
+			}, nil
+		}},
+	}
+	ran := 0
+	for _, b := range benches {
+		if only != "" && !strings.Contains(b.name, only) {
+			continue
 		}
-	}
-	path, err = harness.WriteBenchJSON(dir, harness.BenchReport{
-		Name:   "kv_throughput",
-		Unit:   "committed log entries/sec and local reads/sec",
-		Points: kvPoints,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
-		return 1
-	}
-	fmt.Printf("wrote %s\n\n", path)
-
-	fmt.Printf("sustained KV stream (10x the slot window, checkpoint recycling, %v cap per point):\n", 20*dur)
-	var sustainedPoints []harness.KVSustainedPoint
-	for _, p := range []struct {
-		n   int
-		sub string
-	}{{3, "atomic"}, {3, "san"}} {
-		pt, err := benchKVSustained(p.n, p.sub, 20*dur)
+		report, err := b.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "omegabench: sustained bench: %v\n", err)
+			fmt.Fprintf(os.Stderr, "omegabench: %s: %v\n", b.name, err)
 			return 1
 		}
-		sustainedPoints = append(sustainedPoints, pt)
-		fmt.Printf("  n=%d %-6s  %8.0f commits/s over %d/%d commands (%d-slot window, %d checkpoints)\n",
-			pt.Procs, pt.Substrate, pt.CommitsPerSec, pt.Committed, pt.TargetCommands, pt.Slots, pt.Checkpoints)
-	}
-	path, err = harness.WriteBenchJSON(dir, harness.BenchReport{
-		Name:   "kv_sustained",
-		Unit:   "committed writes/sec over a stream 10x the log's slot window (checkpoint + recycle on the write path)",
-		Points: sustainedPoints,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
-		return 1
-	}
-	fmt.Printf("wrote %s\n\n", path)
-
-	fmt.Printf("sharded KV scaling (deterministic virtual time, 1 tick = 1us, GOMAXPROCS swept):\n")
-	shardedPoints, err := benchShardedKVScaling([]int{1, 2, 4})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "omegabench: sharded bench: %v\n", err)
-		return 1
-	}
-	for _, pt := range shardedPoints {
-		fmt.Printf("  shards=%d batch=%2d gomaxprocs=%d  %10.0f commits/s  avg batch=%5.1f  speedup vs 1 shard=%.2fx\n",
-			pt.Shards, pt.BatchSize, pt.GoMaxProcs, pt.CommitsPerSec, pt.AvgBatch, pt.SpeedupVsOneShard)
-	}
-	path, err = harness.WriteBenchJSON(dir, harness.BenchReport{
-		Name:   "shardedkv_scaling",
-		Unit:   "aggregate committed commands/sec (virtual time: every machine owns a processor), batched vs unbatched, atomic substrate",
-		Points: shardedPoints,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
-		return 1
-	}
-	fmt.Printf("wrote %s\n\n", path)
-
-	fmt.Printf("engine wakeup: polling vs wake-driven KV commits (%v per point):\n", dur)
-	var wakePoints []harness.EngineWakeupPoint
-	for _, p := range []struct {
-		procs    int
-		interval time.Duration
-	}{{3, 200 * time.Microsecond}, {5, 200 * time.Microsecond}, {3, time.Millisecond}} {
-		pt, err := harness.BenchEngineWakeup(p.procs, p.interval, dur)
+		path, err := harness.WriteBenchJSON(dir, report)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "omegabench: wakeup bench: %v\n", err)
+			fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
 			return 1
 		}
-		wakePoints = append(wakePoints, pt)
-		fmt.Printf("  n=%d tick=%4.0fus  polling=%8.0f commits/s  wake=%8.0f commits/s  speedup=%.1fx\n",
-			pt.Procs, pt.IntervalUsec, pt.PollingCommitsPerSec, pt.WakeCommitsPerSec, pt.Speedup)
+		fmt.Printf("wrote %s\n\n", path)
+		ran++
 	}
-	path, err = harness.WriteBenchJSON(dir, harness.BenchReport{
-		Name:   "engine_wakeup",
-		Unit:   "synchronous committed writes/sec, polling driver vs wake-driven engine",
-		Points: wakePoints,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "omegabench: no benchmark matches -benchonly %q\n", only)
 		return 1
 	}
-	fmt.Printf("wrote %s\n", path)
 	return 0
 }
+
+// kvThroughputRuns is how many measurement windows each kv_throughput
+// point takes; the best is recorded. A single window is at the mercy of
+// whatever else the host runs during it (a window that catches an
+// election or a GC cycle under CPU oversubscription can halve) — peak
+// steady-state rate is the stable, comparable quantity, and best-of-N
+// error is one-sided (only ever below the true ceiling), so more
+// windows strictly tighten the estimate.
+const kvThroughputRuns = 7
 
 // benchKVThroughput elects a leader, serves the replicated KV store and
 // measures commit and local-read throughput over dur. The writer keeps a
@@ -286,7 +378,13 @@ func benchKVThroughput(n int, substrate string, dur time.Duration) (harness.KVTh
 	opts := []omegasm.Option{
 		omegasm.WithN(n),
 		omegasm.WithStepInterval(100 * time.Microsecond),
-		omegasm.WithTimerUnit(time.Millisecond),
+		// 10ms failure-detection timers, not the 1ms used elsewhere: the
+		// GOMAXPROCS sweep oversubscribes the reference container's single
+		// core, and a GC wave or an OS reschedule then stalls the engine
+		// thread past a 1ms timer unit — the benchmark would measure
+		// spurious re-elections instead of the commit path. Commits are
+		// wake-driven, so coarser timers change failover latency only.
+		omegasm.WithTimerUnit(10 * time.Millisecond),
 	}
 	if substrate == "san" {
 		// An ideal (zero-latency) SAN isolates the quorum-protocol cost;
@@ -314,6 +412,7 @@ func benchKVThroughput(n int, substrate string, dur time.Duration) (harness.KVTh
 	}
 	defer kv.Close()
 
+	applied0 := kv.Applied()
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(2)
@@ -333,15 +432,27 @@ func benchKVThroughput(n int, substrate string, dur time.Duration) (harness.KVTh
 		}
 	}()
 	var reads atomic.Int64
-	go func() { // reader: hammer local Gets, yielding so the replication
-		// driver is never starved of CPU or the store lock
+	go func() { // reader: local Gets paced at a fixed read:write mix (64
+		// reads per applied command). An unbounded spin-reader would
+		// measure CPU monopolization instead of store capacity: lock-free
+		// Gets scale with GOMAXPROCS until they starve the commit path,
+		// so every GOMAXPROCS point would run a different workload. Pure
+		// read throughput is the read-path benchmark's job.
 		defer wg.Done()
 		var count int64
-		for k := 0; !stop.Load(); k++ {
-			kv.Get(uint16(k % 1024))
-			count++
-			if count%256 == 0 {
-				runtime.Gosched()
+		for k := 0; !stop.Load(); {
+			target := int64(kv.Applied()-applied0) * 64
+			if count >= target {
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
+			for count < target && !stop.Load() {
+				kv.Get(uint16(k % 1024))
+				k++
+				count++
+				if count%256 == 0 {
+					runtime.Gosched()
+				}
 			}
 		}
 		reads.Store(count)
@@ -350,7 +461,6 @@ func benchKVThroughput(n int, substrate string, dur time.Duration) (harness.KVTh
 	// Sample until dur elapses. The store checkpoints by default, so the
 	// log recycles under the writer and the window never has to end early
 	// for capacity (the old fixed log had to stop short of exhaustion).
-	applied0 := kv.Applied()
 	start := time.Now()
 	deadline := start.Add(dur)
 	for time.Now().Before(deadline) {
@@ -365,6 +475,104 @@ func benchKVThroughput(n int, substrate string, dur time.Duration) (harness.KVTh
 		Substrate:     substrate,
 		CommitsPerSec: float64(commits) / elapsed,
 		ReadsPerSec:   float64(reads.Load()) / elapsed,
+	}, nil
+}
+
+// readModeName names a ReadMode for benchmark points.
+func readModeName(m omegasm.ReadMode) string {
+	switch m {
+	case omegasm.ReadLease:
+		return "lease"
+	case omegasm.ReadFreshest:
+		return "freshest"
+	case omegasm.ReadQuorum:
+		return "quorum"
+	}
+	return "unknown"
+}
+
+// benchReadPath measures one read mode of the public KV over an
+// otherwise idle default-options store: a single closed-loop reader, so
+// the latencies are the read machinery itself — the lease fast path
+// (two atomic loads behind a validity check), the uncoordinated
+// freshest-replica read, or the full quorum fence (a consensus round
+// per read on an idle store). Fast-mode latencies are sampled (every
+// 16th read) to bound memory; quorum reads are all recorded.
+func benchReadPath(n int, mode omegasm.ReadMode, dur time.Duration) (harness.ReadPathPoint, error) {
+	c, err := omegasm.New(
+		omegasm.WithN(n),
+		omegasm.WithStepInterval(100*time.Microsecond),
+		omegasm.WithTimerUnit(time.Millisecond),
+	)
+	if err != nil {
+		return harness.ReadPathPoint{}, err
+	}
+	if err := c.Start(); err != nil {
+		return harness.ReadPathPoint{}, err
+	}
+	defer c.Stop()
+	if _, ok := c.WaitForAgreement(20 * time.Second); !ok {
+		return harness.ReadPathPoint{}, fmt.Errorf("no agreement")
+	}
+	kv, err := omegasm.NewKV(c, omegasm.KVStepInterval(50*time.Microsecond))
+	if err != nil {
+		return harness.ReadPathPoint{}, err
+	}
+	defer kv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), dur+20*time.Second)
+	defer cancel()
+	// Seed the key; the committed write also fences the first lease's
+	// catch-up barrier. For the lease mode, wait until the fast path is
+	// actually up so the point measures lease serving, not the fallback.
+	if err := kv.Put(ctx, 7, 42); err != nil {
+		return harness.ReadPathPoint{}, err
+	}
+	if mode == omegasm.ReadLease {
+		settle := time.Now().Add(5 * time.Second)
+		for {
+			if _, ok := kv.LeaseHolder(); ok {
+				break
+			}
+			if time.Now().After(settle) {
+				return harness.ReadPathPoint{}, fmt.Errorf("lease never became readable")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	lat := make([]time.Duration, 0, 1<<20)
+	count := 0
+	start := time.Now()
+	deadline := start.Add(dur)
+	for {
+		if count&63 == 0 && !time.Now().Before(deadline) {
+			break
+		}
+		t0 := time.Now()
+		if _, _, err := kv.Read(ctx, 7, mode); err != nil {
+			return harness.ReadPathPoint{}, err
+		}
+		d := time.Since(t0)
+		count++
+		if (mode == omegasm.ReadQuorum || count&15 == 0) && len(lat) < cap(lat) {
+			lat = append(lat, d)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(float64(len(lat)-1) * p)
+		return float64(lat[i].Nanoseconds()) / 1e3
+	}
+	return harness.ReadPathPoint{
+		Procs:       n,
+		Substrate:   "atomic",
+		Mode:        readModeName(mode),
+		ReadsPerSec: float64(count) / elapsed,
+		P50Usec:     pct(0.50),
+		P99Usec:     pct(0.99),
 	}, nil
 }
 

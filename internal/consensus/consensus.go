@@ -53,18 +53,28 @@ type Instance struct {
 // NewInstance allocates the registers of one consensus instance. tag
 // distinguishes instances sharing one memory (e.g. log slots).
 func NewInstance(mem shmem.Mem, n int, tag int) *Instance {
-	inst := &Instance{
-		N:      n,
-		MBal:   make([]shmem.Reg, n),
-		BalInp: make([]shmem.Reg, n),
-		Dec:    make([]shmem.Reg, n),
+	return &NewInstances(mem, n, tag, 1)[0]
+}
+
+// NewInstances allocates the instances of tags [tag0, tag0+k) in bulk,
+// one contiguous backing array per register class (on memories with a
+// bulk path — see shmem.RowAllocator). A recycling log re-instantiates
+// a whole checkpoint interval of slots per window advance at commit
+// rate, so instance allocation is steady-state commit-path overhead:
+// bulk-allocating turns O(n·k) small objects into O(1) arrays per
+// advance. The instances stay fresh objects per epoch — the returned
+// block aliases nothing older — so the log's stale-reader argument
+// (sealed epochs' registers become unreachable, never reused) is
+// untouched.
+func NewInstances(mem shmem.Mem, n, tag0, k int) []Instance {
+	mb := shmem.WordRowBlock(mem, ClassMBal, tag0, k, n)
+	bi := shmem.WordRowBlock(mem, ClassBalInp, tag0, k, n)
+	dec := shmem.WordRowBlock(mem, ClassDec, tag0, k, n)
+	insts := make([]Instance, k)
+	for j := range insts {
+		insts[j] = Instance{N: n, MBal: mb[j], BalInp: bi[j], Dec: dec[j]}
 	}
-	for i := 0; i < n; i++ {
-		inst.MBal[i] = mem.Word(i, ClassMBal, tag, i)
-		inst.BalInp[i] = mem.Word(i, ClassBalInp, tag, i)
-		inst.Dec[i] = mem.Word(i, ClassDec, tag, i)
-	}
-	return inst
+	return insts
 }
 
 func packBalInp(bal uint32, v uint32) uint64 { return uint64(bal)<<32 | uint64(v) }
@@ -102,6 +112,13 @@ type Proposer struct {
 	decided bool
 	value   uint32
 	rounds  int // ballot attempts, for the experiment's cost metric
+	// wonBallot records that this proposer's OWN phase 2 completed — it
+	// wrote the decision under its own ballot rather than adopting one it
+	// read. A won ballot proves the proposer observed every lower ballot's
+	// outcome (the phase-1/phase-2 intersection), which is what the
+	// lease catch-up barrier and quorum reads need; an adopted decision
+	// proves nothing about the adopter.
+	wonBallot bool
 }
 
 // NewProposer creates the state machine of process id proposing input on
@@ -121,6 +138,28 @@ func NewProposer(inst *Instance, id int, input uint32, omega func() int) (*Propo
 		phase: phaseFollow,
 	}, nil
 }
+
+// reset re-arms the state machine for a new instance and input, reusing
+// the allocation: a replica would otherwise construct one proposer per
+// slot it leads, which is the dominant per-commit heap allocation on the
+// steady-state write path. The caller guarantees input is not NoValue
+// (the same contract NewProposer validates).
+func (p *Proposer) reset(inst *Instance, input uint32) {
+	p.inst = inst
+	p.input = input
+	p.phase = phaseFollow
+	p.ballot = 0
+	p.chosen = 0
+	p.decided = false
+	p.value = 0
+	p.rounds = 0
+	p.wonBallot = false
+}
+
+// WonBallot reports whether the decided value was decided by this
+// proposer's own completed phase 2 (meaningful once Decided returns
+// true; false when the decision was adopted from another proposer).
+func (p *Proposer) WonBallot() bool { return p.wonBallot }
 
 // Decided returns the decided value, or (NoValue, false).
 func (p *Proposer) Decided() (uint32, bool) {
@@ -178,6 +217,7 @@ func (p *Proposer) Step(vclock.Time) {
 			p.startBallot(maxM)
 			return
 		}
+		p.wonBallot = true
 		p.inst.Dec[p.id].Write(p.id, packDec(p.chosen))
 		p.decide(p.chosen)
 	}

@@ -4,9 +4,19 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"omegasm/internal/vclock"
 )
+
+// keySpace is the size of the 16-bit key space the flat applied-state
+// array covers.
+const keySpace = 1 << 16
+
+// statePresent is the presence bit of a flat state word: a key's slot
+// holds statePresent|value once any committed Set wrote it (value 0 is
+// distinguishable from "never written").
+const statePresent = uint32(1) << 16
 
 // KV is a replicated key-value store: the canonical state machine driven
 // by the replicated log (the full Paxos-style stack the paper's
@@ -18,8 +28,14 @@ import (
 // committed prefix in order, so all replicas' states converge to the same
 // map; reads are served from the local applied state (and are therefore
 // only as fresh as the replica's commit progress — sequential
-// consistency, not linearizability; a linearizable read would go through
-// the log).
+// consistency, not linearizability; a linearizable read goes through the
+// lease or quorum machinery of the public KV).
+//
+// The store is built for multi-core traffic: the applied state is a flat
+// array of atomic words, so Get, Applied and Len never take the step
+// lock (readers cannot stall the replication driver, and vice versa),
+// and writes are staged under a separate short lock that the step path
+// drains, so a submitting writer never waits out a full step burst.
 //
 // On a checkpointing (recycling) log the KV is also the log's
 // Snapshotter: the leader seals the applied map into published snapshots,
@@ -31,9 +47,28 @@ type KV struct {
 	replica *Replica
 	// applied indexes into the global committed command stream (including
 	// any prefix summarized by checkpoints): the first applied commands
-	// are reflected in state.
-	applied int
-	state   map[uint16]uint16
+	// are reflected in state. Written under mu, read lock-free.
+	applied atomic.Int64
+	// state[k] is key k's applied word: 0 when never written, else
+	// statePresent|value. One atomic word per key makes Get a single
+	// lock-free load; the applier stores under mu, so per-key values are
+	// monotone along the committed stream.
+	state []atomic.Uint32
+	// keys lists the present keys in first-write order (the command
+	// alphabet has no deletes, so the list only grows); under mu. It is
+	// what lets snapshots iterate the state deterministically without
+	// ranging over a map or scanning the whole key space.
+	keys []uint16
+	// keyCount mirrors len(keys) for the lock-free Len.
+	keyCount atomic.Int64
+
+	// submitMu guards the staging buffer writers append to; StepBurst
+	// drains it into the replica's queue under mu. Lock order: mu before
+	// submitMu when both are held. Two buffers swap roles at each drain,
+	// so the steady-state submit path never allocates.
+	submitMu    sync.Mutex
+	staged      []uint32
+	stagedSpare []uint32
 }
 
 // EncodeSet packs a Set command. Value 0xFFFF is reserved (it would
@@ -57,7 +92,7 @@ func NewKV(replica *Replica) (*KV, error) {
 	}
 	kv := &KV{
 		replica: replica,
-		state:   make(map[uint16]uint16),
+		state:   make([]atomic.Uint32, keySpace),
 	}
 	replica.AttachSnapshotter(kvSnapshotter{kv})
 	return kv, nil
@@ -68,61 +103,73 @@ func NewKV(replica *Replica) (*KV, error) {
 // StepBurst that drives the replica, so they touch the fields directly.
 type kvSnapshotter struct{ kv *KV }
 
-// SnapshotEntries renders the applied map — fast-forwarded over any
+// SnapshotEntries renders the applied state — fast-forwarded over any
 // committed-but-unapplied tail first — as Set commands in ascending key
 // order, a pure function of the committed prefix.
 func (s kvSnapshotter) SnapshotEntries() []uint32 {
 	s.kv.applyCommittedLocked()
-	keys := make([]int, 0, len(s.kv.state))
-	for k := range s.kv.state {
-		keys = append(keys, int(k))
-	}
-	sort.Ints(keys)
+	keys := append([]uint16(nil), s.kv.keys...)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	out := make([]uint32, len(keys))
 	for i, k := range keys {
-		out[i] = EncodeSet(uint16(k), s.kv.state[uint16(k)])
+		out[i] = EncodeSet(k, uint16(s.kv.state[k].Load()))
 	}
 	return out
 }
 
-// InstallSnapshot replaces the applied map with the decoded entries and
-// jumps the application point past the sealed prefix.
+// InstallSnapshot overlays the decoded entries onto the applied state and
+// jumps the application point past the sealed prefix. Overlaying (rather
+// than replacing) is exact because the command alphabet has no deletes —
+// the key set is monotone along the committed stream, and installs only
+// move forward — and it keeps concurrent lock-free readers from ever
+// observing a present key transiently vanish.
 func (s kvSnapshotter) InstallSnapshot(entries []uint32, committedLen int) {
-	st := make(map[uint16]uint16, len(entries))
 	for _, e := range entries {
 		k, v := DecodeSet(e)
-		st[k] = v
+		s.kv.setLocked(k, v)
 	}
-	s.kv.state = st
-	s.kv.applied = committedLen
+	s.kv.applied.Store(int64(committedLen))
 }
 
 // AppliedLen returns the application point; the replica never trims
 // retained commands past it.
-func (s kvSnapshotter) AppliedLen() int { return s.kv.applied }
+func (s kvSnapshotter) AppliedLen() int { return int(s.kv.applied.Load()) }
+
+// setLocked applies one Set to the flat state. Callers hold kv.mu.
+func (kv *KV) setLocked(key, val uint16) {
+	if kv.state[key].Swap(statePresent|uint32(val))&statePresent == 0 {
+		kv.keys = append(kv.keys, key)
+		kv.keyCount.Add(1)
+	}
+}
 
 // applyCommittedLocked applies every committed-but-unapplied command in
 // log order. Callers hold kv.mu.
 func (kv *KV) applyCommittedLocked() {
 	base := kv.replica.committedBase
-	for kv.applied < base+len(kv.replica.committed) {
-		key, val := DecodeSet(kv.replica.committed[kv.applied-base])
-		kv.state[key] = val
-		kv.applied++
+	a := int(kv.applied.Load())
+	for a < base+len(kv.replica.committed) {
+		key, val := DecodeSet(kv.replica.committed[a-base])
+		kv.setLocked(key, val)
+		a++
+		kv.applied.Store(int64(a))
 	}
 }
 
 // Set queues a write for replication. It is applied once committed. On a
 // log that reserves the descriptor row (batched or checkpointing) the
 // whole key 0xFFFF row is rejected; on a plain log only the pair
-// (0xFFFF, 0xFFFF) is (the NoValue sentinel).
+// (0xFFFF, 0xFFFF) is (the NoValue sentinel). The write lands in the
+// staging buffer under its own short lock — a submitter never waits out
+// an in-flight step burst — and enters the replica's queue at the next
+// step.
 func (kv *KV) Set(key, val uint16) error {
 	if IsReserved(EncodeSet(key, val), kv.replica.log.ReservesTopRow()) {
 		return fmt.Errorf("consensus: key/value pair (0x%04x, 0x%04x) is reserved", key, val)
 	}
-	kv.mu.Lock()
-	defer kv.mu.Unlock()
-	kv.replica.Submit(EncodeSet(key, val))
+	kv.submitMu.Lock()
+	kv.staged = append(kv.staged, EncodeSet(key, val))
+	kv.submitMu.Unlock()
 	return nil
 }
 
@@ -138,37 +185,88 @@ func (kv *KV) SetAll(pairs ...[2]uint16) error {
 			return fmt.Errorf("consensus: key/value pair (0x%04x, 0x%04x) is reserved", p[0], p[1])
 		}
 	}
-	kv.mu.Lock()
-	defer kv.mu.Unlock()
+	kv.submitMu.Lock()
 	for _, p := range pairs {
-		kv.replica.Submit(EncodeSet(p[0], p[1]))
+		kv.staged = append(kv.staged, EncodeSet(p[0], p[1]))
 	}
+	kv.submitMu.Unlock()
 	return nil
 }
 
-// Get returns the value of key in the applied state.
-func (kv *KV) Get(key uint16) (uint16, bool) {
-	kv.mu.Lock()
-	defer kv.mu.Unlock()
-	v, ok := kv.state[key]
-	return v, ok
+// SubmitBarrier stages a no-op barrier command (see Replica.SubmitBarrier):
+// it decides a slot without touching the applied state, which is the fence
+// both lease catch-up and quorum reads are built on. Only stores over
+// descriptor-row logs (batched or checkpointing) can carry barriers.
+func (kv *KV) SubmitBarrier() error {
+	if !kv.replica.log.ReservesTopRow() {
+		return fmt.Errorf("consensus: no-op barriers need a log that reserves the descriptor row")
+	}
+	kv.submitMu.Lock()
+	kv.staged = append(kv.staged, NoopBarrier)
+	kv.submitMu.Unlock()
+	return nil
 }
 
-// Len returns the number of keys in the applied state.
-func (kv *KV) Len() int {
+// SetAuthority installs the replica's proposal-arming gate (see
+// Replica.SetAuthority). Call before the store starts stepping.
+func (kv *KV) SetAuthority(f func(vclock.Time) bool) { kv.replica.SetAuthority(f) }
+
+// FenceGen returns the replica's current arm generation — the snapshot a
+// fence waiter takes before forcing progress. Taking kv.mu also orders
+// the read after any in-flight step burst.
+func (kv *KV) FenceGen() uint64 {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	return len(kv.state)
+	return kv.replica.ArmGen()
 }
+
+// FencedSince reports whether a proposal armed after gen (a prior
+// FenceGen reading) has since won its own ballot. When true, every
+// command committed by any authority before that FenceGen call has been
+// learned AND applied at this store — the mu acquisition here orders the
+// observation after the step burst that applied them — so a local read
+// that follows is linearizable with respect to that point.
+func (kv *KV) FencedSince(gen uint64) bool {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.replica.LastWinArmGen() > gen
+}
+
+// Noops returns how many no-op barrier slots this replica has learned.
+func (kv *KV) Noops() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.replica.Noops()
+}
+
+// drainStagedLocked moves staged writes into the replica's queue.
+// Callers hold kv.mu; the staging buffers swap roles so neither path
+// allocates at steady state.
+func (kv *KV) drainStagedLocked() {
+	kv.submitMu.Lock()
+	batch := kv.staged
+	kv.staged = kv.stagedSpare[:0]
+	kv.submitMu.Unlock()
+	for _, c := range batch {
+		kv.replica.Submit(c)
+	}
+	kv.stagedSpare = batch[:0]
+}
+
+// Get returns the value of key in the applied state. It is a single
+// atomic load — reads never contend with the replication driver.
+func (kv *KV) Get(key uint16) (uint16, bool) {
+	w := kv.state[key].Load()
+	return uint16(w), w&statePresent != 0
+}
+
+// Len returns the number of keys in the applied state (lock-free).
+func (kv *KV) Len() int { return int(kv.keyCount.Load()) }
 
 // Applied returns how many commands of the global committed stream are
 // reflected in the applied state (including any checkpoint-summarized
-// prefix).
-func (kv *KV) Applied() int {
-	kv.mu.Lock()
-	defer kv.mu.Unlock()
-	return kv.applied
-}
+// prefix). Lock-free.
+func (kv *KV) Applied() int { return int(kv.applied.Load()) }
 
 // Step advances the underlying replica and applies newly committed
 // entries in log order.
@@ -177,26 +275,32 @@ func (kv *KV) Step(now vclock.Time) { kv.StepN(now, 1) }
 // StepN advances the replica by up to n micro-steps under one lock
 // acquisition, then applies newly committed entries in log order. Paxos
 // phases are micro-steps (one phase action each), so a slot commit needs
-// several; bursting them amortizes the lock handoff when readers contend
+// several; bursting them amortizes the lock handoff when writers contend
 // for the store — on a timer-resolution-bound host this is the difference
 // between one commit per several ticks and several commits per tick.
 func (kv *KV) StepN(now vclock.Time, n int) { kv.StepBurst(now, n) }
 
 // StepBurst is StepN reporting progress, for wake-driven engines: it
-// returns how many entries newly committed during the burst (snapshot
-// installs count their whole skipped prefix) and how many submitted
-// commands remain unproposed, so a driver can decide between stepping
-// again immediately (work is draining), polling later (idle), or
-// signalling waiting writers (commits landed).
-func (kv *KV) StepBurst(now vclock.Time, n int) (newlyCommitted, pending int) {
+// returns how much the burst advanced the store — newly committed
+// entries plus newly decided slots, so command-free slots (checkpoints,
+// no-op barriers) still count; snapshot installs count their whole
+// skipped prefix — and how many submitted commands remain unproposed.
+// A driver decides between stepping again immediately (work is
+// draining), polling later (idle), or signalling waiters (progress
+// landed: committed writes, or a barrier some fence waiter needs).
+func (kv *KV) StepBurst(now vclock.Time, n int) (progress, pending int) {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
+	kv.drainStagedLocked()
 	before := kv.replica.CommittedLen()
+	beforeSlots := kv.replica.SlotsDecided()
 	for i := 0; i < n; i++ {
 		kv.replica.Step(now)
 	}
 	kv.applyCommittedLocked()
-	return kv.replica.CommittedLen() - before, len(kv.replica.pending)
+	progress = kv.replica.CommittedLen() - before +
+		kv.replica.SlotsDecided() - beforeSlots
+	return progress, kv.replica.pendingLen()
 }
 
 // Committed returns a copy of the replica's retained committed tail, in
@@ -265,9 +369,13 @@ func (kv *KV) SlotsDecided() int {
 
 // LogFull reports whether the store can accept no further writes: every
 // slot of a non-recycling log has been decided and learned at this
-// replica. A recycling store never fills; transient window backpressure
-// is WindowFull.
+// replica. A recycling store never fills — that case short-circuits
+// without the step lock, keeping the per-write check off the contended
+// path; transient window backpressure is WindowFull.
 func (kv *KV) LogFull() bool {
+	if kv.replica.log.Recycling() {
+		return false
+	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	return kv.replica.LogFull()
@@ -318,11 +426,14 @@ func (kv *KV) SnapshotInstalls() int {
 }
 
 // PendingLen returns how many submitted commands are still waiting in the
-// replica's queue (neither committed nor dropped).
+// replica's queue or the staging buffer (neither committed nor dropped).
 func (kv *KV) PendingLen() int {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	return len(kv.replica.pending)
+	kv.submitMu.Lock()
+	staged := len(kv.staged)
+	kv.submitMu.Unlock()
+	return kv.replica.pendingLen() + staged
 }
 
 // DropGeneration returns how many times this replica's pending queue has
@@ -363,17 +474,21 @@ func (kv *KV) CommittedContainsAfter(from int, cmd uint32) bool {
 	return false
 }
 
-// DropPending discards the replica's queued-but-unproposed commands and
-// returns how many were dropped. The replicated-service layer calls it on
-// the replicas a leadership change left behind: their queues would
-// otherwise be re-proposed whenever that replica regains leadership,
-// committing stale writes after newer ones.
+// DropPending discards the replica's queued-but-unproposed commands —
+// staged writes included — and returns how many were dropped. The
+// replicated-service layer calls it on the replicas a leadership change
+// left behind: their queues would otherwise be re-proposed whenever that
+// replica regains leadership, committing stale writes after newer ones.
 func (kv *KV) DropPending() int {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	n := len(kv.replica.pending)
+	kv.submitMu.Lock()
+	n := len(kv.staged)
+	kv.staged = kv.staged[:0]
+	kv.submitMu.Unlock()
+	n += kv.replica.pendingLen()
 	if n > 0 {
-		kv.replica.pending = nil
+		kv.replica.clearPending()
 		kv.replica.dropGen++
 	}
 	return n
@@ -383,9 +498,9 @@ func (kv *KV) DropPending() int {
 func (kv *KV) Snapshot() map[uint16]uint16 {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	out := make(map[uint16]uint16, len(kv.state))
-	for k, v := range kv.state {
-		out[k] = v
+	out := make(map[uint16]uint16, len(kv.keys))
+	for _, k := range kv.keys {
+		out[k] = uint16(kv.state[k].Load())
 	}
 	return out
 }

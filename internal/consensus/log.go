@@ -62,6 +62,19 @@ const batchDescMark = uint32(0xFFFF0000)
 // publication on a checkpointing log.
 const ckptSeqFlag = 0x800
 
+// NoopBarrier is the no-op barrier command: a descriptor-row word that
+// decides a slot without appending anything to the committed stream.
+// Leaders commit it as a fence — the lease catch-up barrier after an
+// acquisition, and the marker slot behind a quorum read — when no write
+// traffic is flowing to fence on. Its coordinates, pid 15 seq 0xFFE, are
+// unreachable by any publisher on any log family: batch sequences stay
+// below 4094 (0xFFE) and checkpoint sequences below 2046 under the 0x800
+// family flag, so the sequence payload 0xFFE is never produced, and the
+// word is one below the NoValue sentinel. Only logs that reserve the
+// descriptor row may carry it (elsewhere it would be a legal user
+// command).
+const NoopBarrier = batchDescMark | 0xF<<12 | 0xFFE
+
 // The per-process publication sequence caps. A non-checkpointing batched
 // log has the whole 12-bit sequence space to itself (capped one short of
 // the coordinates that would collide with the NoValue sentinel, with a
@@ -328,8 +341,9 @@ func NewCheckpointLog(mem shmem.Mem, n, slots, maxBatch, ckptEvery int) (*Log, e
 		}
 	}
 	l := &Log{N: n, mem: mem, maxBatch: maxBatch, ckptEvery: ckptEvery, ring: make([]*Instance, slots)}
+	initial := NewInstances(mem, n, 0, slots)
 	for s := range l.ring {
-		l.ring[s] = NewInstance(mem, n, s)
+		l.ring[s] = &initial[s]
 	}
 	if maxBatch > 1 {
 		maxSeq := batchSeqCapPlain
@@ -484,7 +498,11 @@ func (l *Log) advance(newBase int) {
 		return
 	}
 	n := len(l.ring)
-	for g := l.base + n; g < newBase+n; g++ {
+	// One bulk allocation covers every recycled position of this advance
+	// (a checkpoint interval of slots), instead of per-slot objects on
+	// the steady-state commit path.
+	fresh := NewInstances(l.mem, l.N, l.base+n, newBase-l.base)
+	for j, g := 0, l.base+n; g < newBase+n; j, g = j+1, g+1 {
 		// The sealed epoch's registers are permanently dead (its instance
 		// object becomes unreachable, and its globally-unique names are
 		// never allocated again): release their substrate backing — disk
@@ -497,7 +515,7 @@ func (l *Log) advance(newBase int) {
 				shmem.DiscardIfPossible(l.mem, old.Dec[i])
 			}
 		}
-		l.ring[g%n] = NewInstance(l.mem, l.N, g)
+		l.ring[g%n] = &fresh[j]
 	}
 	l.base = newBase
 }
@@ -548,6 +566,26 @@ type Replica struct {
 	log   *Log
 	id    int
 	omega func() int
+	// authority, when set, additionally gates the arming of every new
+	// proposal (commands, batches, checkpoints and barriers alike): the
+	// replica arms only when authority(now) is true. The lease layer
+	// installs the holder check here, which is what confines commits to
+	// lease validity windows. A proposal already armed keeps stepping —
+	// it was authorized at arming, and the successor's catch-up barrier
+	// is what fences its eventual commit (see the lease package).
+	authority func(vclock.Time) bool
+	// armGen counts proposals armed; curArmGen is the generation of the
+	// currently armed one, and lastWinArmGen the generation of the newest
+	// proposal that won its own ballot (see Proposer.WonBallot). A waiter
+	// that snapshots armGen and then observes lastWinArmGen exceed it
+	// knows a proposal armed after the snapshot has decided — the fence
+	// primitive behind lease barriers and quorum reads.
+	armGen        uint64
+	curArmGen     uint64
+	lastWinArmGen uint64
+	// noops counts decided no-op barrier slots (never part of the
+	// committed command stream).
+	noops int
 
 	// committed is the retained tail of the flattened command stream:
 	// descriptors are resolved at learn time, so it never contains
@@ -558,11 +596,25 @@ type Replica struct {
 	committed     []uint32
 	committedBase int
 	slotsDecided  int
-	pending       []uint32
+	// pending[pendingHead:] is the submitted-but-uncommitted queue. The
+	// head index makes the pop O(1) without shrinking the array from the
+	// front (which would force append to reallocate every refill); Submit
+	// compacts the consumed prefix back over itself once it dominates the
+	// array, so the queue's storage is bounded by its high-water mark and
+	// the steady-state submit path never allocates.
+	pending     []uint32
+	pendingHead int
 	// dropGen counts DropPending calls, so writers can detect a queue
 	// sweep they never observed with one comparison.
 	dropGen uint64
 
+	// resolveBuf is the scratch buffer resolveSlot decodes into; its
+	// contents are consumed (copied into committed) before the next
+	// resolve, so reusing it keeps slot learning allocation-free.
+	resolveBuf []uint32
+
+	// prop is reused across slots (reset, not reallocated); propSlot -1
+	// means it is not armed for the current slot.
 	prop     *Proposer
 	propSlot int
 
@@ -610,7 +662,15 @@ func NewReplica(log *Log, id int, omega func() int) (*Replica, error) {
 	if omega == nil {
 		return nil, fmt.Errorf("consensus: nil omega oracle")
 	}
-	return &Replica{log: log, id: id, omega: omega, propSlot: -1, lastSealSlot: -1, selfLatestSeq: -1, cachedSlot: -1}, nil
+	return &Replica{
+		log: log, id: id, omega: omega,
+		// Pre-size the committed tail to the window's worst case so the
+		// steady-state learn path appends without reallocating (a
+		// recycling log's tail is trimmed in place at each seal, keeping
+		// this capacity; growth past it is amortized as usual).
+		committed: make([]uint32, 0, log.Cap()*log.MaxBatch()),
+		propSlot:  -1, lastSealSlot: -1, selfLatestSeq: -1, cachedSlot: -1,
+	}, nil
 }
 
 // AttachSnapshotter binds the state-machine snapshot hooks checkpointing
@@ -624,7 +684,68 @@ func (r *Replica) AttachSnapshotter(s Snapshotter) { r.snap = s }
 // duplicate values are committed once per slot that decides them. On a
 // log that reserves the descriptor row, commands in that row (IsReserved)
 // must not be submitted.
-func (r *Replica) Submit(cmd uint32) { r.pending = append(r.pending, cmd) }
+func (r *Replica) Submit(cmd uint32) {
+	if h := r.pendingHead; h > 0 && h >= len(r.pending)-h {
+		// The consumed prefix dominates the array: slide the live tail
+		// down so append reuses the freed capacity instead of growing.
+		n := copy(r.pending, r.pending[h:])
+		r.pending = r.pending[:n]
+		r.pendingHead = 0
+	}
+	r.pending = append(r.pending, cmd)
+}
+
+// SubmitBarrier queues a no-op barrier: a command that decides a slot
+// without extending the committed stream. It is only meaningful on logs
+// that reserve the descriptor row (batched or checkpointing); on a plain
+// log the word would collide with the user command space.
+func (r *Replica) SubmitBarrier() error {
+	if !r.log.ReservesTopRow() {
+		return fmt.Errorf("consensus: no-op barriers need a log that reserves the descriptor row")
+	}
+	r.Submit(NoopBarrier)
+	return nil
+}
+
+// SetAuthority installs the arming gate (see the authority field). Call
+// before the replica starts stepping; nil leaves arming gated only on
+// the Omega oracle, the pre-lease behavior.
+func (r *Replica) SetAuthority(f func(vclock.Time) bool) { r.authority = f }
+
+// ArmGen returns how many proposals this replica has armed.
+func (r *Replica) ArmGen() uint64 { return r.armGen }
+
+// LastWinArmGen returns the arm generation of the newest proposal that
+// won its own ballot (0: none yet). LastWinArmGen() > g, for g a prior
+// reading of ArmGen(), proves a proposal armed after that reading has
+// decided — and therefore that this replica had learned every slot
+// decided before the reading (it arms only at its first unlearned slot,
+// and a slot already decided can only be adopted, never won).
+func (r *Replica) LastWinArmGen() uint64 { return r.lastWinArmGen }
+
+// Noops returns how many no-op barrier slots this replica has learned.
+func (r *Replica) Noops() int { return r.noops }
+
+// pendingLen returns the number of queued-but-uncommitted commands.
+func (r *Replica) pendingLen() int { return len(r.pending) - r.pendingHead }
+
+// pendingAt returns the i-th queued command (0 is the oldest).
+func (r *Replica) pendingAt(i int) uint32 { return r.pending[r.pendingHead+i] }
+
+// popPending drops the oldest queued command.
+func (r *Replica) popPending() {
+	r.pendingHead++
+	if r.pendingHead == len(r.pending) {
+		r.pending = r.pending[:0]
+		r.pendingHead = 0
+	}
+}
+
+// clearPending empties the queue, keeping its storage.
+func (r *Replica) clearPending() {
+	r.pending = r.pending[:0]
+	r.pendingHead = 0
+}
 
 // Committed returns a copy of the replica's retained committed command
 // tail in log order (shared across all replicas by consensus slot
@@ -670,7 +791,7 @@ func (r *Replica) WindowFull() bool {
 }
 
 // Pending returns the number of commands still waiting for commit.
-func (r *Replica) Pending() int { return len(r.pending) }
+func (r *Replica) Pending() int { return r.pendingLen() }
 
 // Checkpoints returns how many checkpoints this replica has passed
 // (learned in order or installed).
@@ -732,25 +853,47 @@ func (r *Replica) Step(now vclock.Time) {
 			return
 		}
 	}
-	if r.omega() != r.id || (len(r.pending) == 0 && !r.checkpointDue()) {
+	if r.omega() != r.id || (r.pendingLen() == 0 && !r.checkpointDue()) {
 		return
 	}
 	if r.prop == nil || r.propSlot != slot {
+		// The authority gate sits exactly at arming: an in-flight proposal
+		// (below) keeps stepping after authority lapses, but no NEW
+		// proposal — command, batch, checkpoint or barrier — arms without
+		// it. This is what bounds a deposed leader to at most one straggler
+		// commit, which the successor's catch-up barrier fences.
+		if r.authority != nil && !r.authority(now) {
+			return
+		}
 		input, ok := r.proposal()
 		if !ok {
 			return
 		}
-		p, err := NewProposer(inst, r.id, input, r.omega)
-		if err != nil {
+		if input == NoValue {
 			// Only reachable with a NoValue command, which Submit's
 			// contract excludes; drop it rather than wedge the log.
-			r.pending = r.pending[1:]
+			r.popPending()
 			return
 		}
-		r.prop, r.propSlot = p, slot
+		if r.prop == nil {
+			p, err := NewProposer(inst, r.id, input, r.omega)
+			if err != nil {
+				r.popPending()
+				return
+			}
+			r.prop = p
+		} else {
+			r.prop.reset(inst, input)
+		}
+		r.propSlot = slot
+		r.armGen++
+		r.curArmGen = r.armGen
 	}
 	r.prop.Step(now)
 	if v, ok := r.prop.Decided(); ok {
+		if r.prop.WonBallot() {
+			r.lastWinArmGen = r.curArmGen
+		}
 		r.commitSlot(v)
 	}
 }
@@ -768,19 +911,33 @@ func (r *Replica) proposal() (input uint32, ok bool) {
 			return desc, true
 		}
 	}
-	if len(r.pending) == 0 {
+	if r.pendingLen() == 0 {
 		return 0, false
 	}
-	k := len(r.pending)
+	k := r.pendingLen()
 	if k > r.log.maxBatch {
 		k = r.log.maxBatch
 	}
-	if k < 2 {
-		return r.pending[0], true
+	if r.log.ReservesTopRow() {
+		// A queued barrier proposes as itself, never inside a batch (batch
+		// data words are commands; a barrier is not). One at the head goes
+		// out now; one further back truncates the batch in front of it.
+		for i := 0; i < k; i++ {
+			if r.pendingAt(i) == NoopBarrier {
+				if i == 0 {
+					return NoopBarrier, true
+				}
+				k = i
+				break
+			}
+		}
 	}
-	desc, published := r.publishBatch(r.pending[:k])
+	if k < 2 {
+		return r.pendingAt(0), true
+	}
+	desc, published := r.publishBatch(r.pending[r.pendingHead : r.pendingHead+k])
 	if !published {
-		return r.pending[0], true
+		return r.pendingAt(0), true
 	}
 	return desc, true
 }
@@ -934,7 +1091,8 @@ func (r *Replica) resolveSlot(slot int, v uint32) (cmds []uint32, sealPid, sealS
 		return nil, pid, seq, true, true
 	}
 	if !r.log.Batched() || !isDesc(v) {
-		return []uint32{v}, 0, 0, false, true
+		r.resolveBuf = append(r.resolveBuf[:0], v)
+		return r.resolveBuf, 0, 0, false, true
 	}
 	pid, seq := decodeBatchDesc(v)
 	// Resolution must exclude area reclamation, which only a recycling
@@ -949,7 +1107,7 @@ func (r *Replica) resolveSlot(slot int, v uint32) (cmds []uint32, sealPid, sealS
 	}
 	dataCap := len(r.log.data[pid])
 	start, count := unpackBatchHdr(r.log.hdr[pid][seq].Read(r.id))
-	cmds = make([]uint32, 0, count)
+	cmds = r.resolveBuf[:0]
 	for w := 0; len(cmds) < count; w++ {
 		word := r.log.data[pid][(start+w)%dataCap].Read(r.id)
 		cmds = append(cmds, uint32(word))
@@ -957,6 +1115,7 @@ func (r *Replica) resolveSlot(slot int, v uint32) (cmds []uint32, sealPid, sealS
 			cmds = append(cmds, uint32(word>>32))
 		}
 	}
+	r.resolveBuf = cmds
 	return cmds, 0, 0, false, true
 }
 
@@ -969,6 +1128,22 @@ func (r *Replica) resolveSlot(slot int, v uint32) (cmds []uint32, sealPid, sealS
 // slide the window.
 func (r *Replica) commitSlot(v uint32) {
 	slot := r.slotsDecided
+	if r.log.ReservesTopRow() && v == NoopBarrier {
+		// Barrier slots decide but append nothing. Pop a queued barrier at
+		// the head (any decided barrier satisfies it — the fence property
+		// is in who won the slot, not in whose no-op word it was), and
+		// reclaim a dead publication of ours the barrier outran.
+		r.slotsDecided++
+		r.noops++
+		if r.propSlot == slot {
+			r.propSlot = -1
+		}
+		r.dropDeadPub(slot, v)
+		if r.pendingLen() > 0 && r.pendingAt(0) == NoopBarrier {
+			r.popPending()
+		}
+		return
+	}
 	cmds, sealPid, sealSeq, isSeal, ok := r.resolveSlot(slot, v)
 	if !ok {
 		// Recycled mid-learn: drop the memoized instance so the next step
@@ -978,7 +1153,9 @@ func (r *Replica) commitSlot(v uint32) {
 	}
 	r.slotsDecided++
 	if r.propSlot == slot {
-		r.prop, r.propSlot = nil, -1
+		// Disarm but keep the proposer object: the next led slot resets
+		// it in place instead of allocating a fresh state machine.
+		r.propSlot = -1
 	}
 	r.dropDeadPub(slot, v)
 	if isSeal {
@@ -987,8 +1164,8 @@ func (r *Replica) commitSlot(v uint32) {
 	}
 	for _, c := range cmds {
 		r.committed = append(r.committed, c)
-		if len(r.pending) > 0 && r.pending[0] == c {
-			r.pending = r.pending[1:]
+		if r.pendingLen() > 0 && r.pendingAt(0) == c {
+			r.popPending()
 		}
 	}
 }
@@ -1014,7 +1191,10 @@ func (r *Replica) applySeal(slot, pid, seq int) {
 			keep = a
 		}
 		if drop := keep - r.committedBase; drop > 0 {
-			r.committed = append([]uint32(nil), r.committed[drop:]...)
+			// Trim in place: the tail slides down over the sealed prefix,
+			// keeping the array's capacity for the next window of commits.
+			n := copy(r.committed, r.committed[drop:])
+			r.committed = r.committed[:n]
 			r.committedBase = keep
 		}
 	}
@@ -1070,7 +1250,7 @@ func (r *Replica) installLatestSnapshot() {
 	}
 	r.snap.InstallSnapshot(entries, committedLen)
 	r.slotsDecided = sealSlot + 1
-	r.committed = nil
+	r.committed = r.committed[:0]
 	r.committedBase = committedLen
 	r.lastSealSlot = sealSlot
 	r.ckptSeen++
@@ -1080,7 +1260,7 @@ func (r *Replica) installLatestSnapshot() {
 	} else {
 		r.selfLatestSeq = -1
 	}
-	r.prop, r.propSlot = nil, -1
+	r.propSlot = -1
 	r.log.ack[r.id].Write(r.id, uint64(sealSlot)+1)
 	r.log.ptr[r.id].Write(r.id, best)
 	r.maybeAdvanceWindow()

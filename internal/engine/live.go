@@ -3,7 +3,6 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime"
 	"sync"
@@ -48,6 +47,9 @@ type Live struct {
 	seq      uint64
 	started  bool
 	stopped  bool
+	// due is the scheduler's reusable drain buffer: the loop pops every
+	// ripe event into it each round, so the hot path never allocates.
+	due []event
 
 	kick chan struct{} // wakes the scheduler after a Notify
 	halt chan struct{}
@@ -71,6 +73,20 @@ type liveMachine struct {
 	// when popped). Parking needs no flag: a parked machine simply has no
 	// live step entry, and Notify pushes one.
 	stepGen uint64
+
+	// hot and nudge elide the Notify slow path while the machine is
+	// actively draining: hot is true from the moment the scheduler pops a
+	// due step until the machine next sleeps (WakeAt) or parks, and nudge
+	// is the notifier's flag that new work arrived meanwhile. Notify
+	// stores nudge then loads hot; the dispatcher stores hot=false then
+	// swaps nudge — the sequentially consistent store/load pairing
+	// guarantees that either the notifier sees hot (the machine is still
+	// running and will re-step), or the dispatcher sees nudge (and
+	// schedules an immediate re-step instead of sleeping). Under commit
+	// bursts this turns the per-write Notify from a mutex acquisition
+	// into one atomic store and one load.
+	hot   atomic.Bool
+	nudge atomic.Bool
 }
 
 // event and eventQueue are shared by the live and virtual-time engines:
@@ -152,6 +168,12 @@ func (e *Live) Add(m Machine, opts ...AddOpt) int {
 // now returns nanoseconds since Start.
 func (e *Live) now() vclock.Time { return int64(time.Since(e.start)) }
 
+// Now returns the engine clock — nanoseconds since Start — for callers
+// outside machine activations (a machine should use the time its Step
+// was handed). Lease validity checks on read paths use this: leases are
+// granted and judged against one clock, the engine's.
+func (e *Live) Now() vclock.Time { return e.now() }
+
 // Start launches the scheduler goroutine. It may be called once; a
 // stopped engine cannot be restarted.
 func (e *Live) Start() error {
@@ -227,12 +249,23 @@ func (e *Live) Crashed(id int) bool {
 // Safe from any goroutine, including machine step bodies. Notifying a
 // crashed or stopped engine's machine is a no-op.
 func (e *Live) Notify(id int) {
+	if id < 0 || id >= len(e.machines) {
+		return
+	}
+	// Fast path: the machine is actively draining (popped and not yet
+	// asleep). Flag the new work and return — the dispatcher re-checks
+	// nudge before it lets the machine sleep or park, so the wake cannot
+	// be lost (see the hot/nudge ordering contract on liveMachine).
+	m := e.machines[id]
+	m.nudge.Store(true)
+	if m.hot.Load() {
+		return
+	}
 	e.mu.Lock()
-	if e.stopped || id < 0 || id >= len(e.machines) {
+	if e.stopped {
 		e.mu.Unlock()
 		return
 	}
-	m := e.machines[id]
 	if m.crashed.Load() {
 		e.mu.Unlock()
 		return
@@ -252,11 +285,50 @@ func (e *Live) Notify(id int) {
 	}
 }
 
-// push enqueues ev; caller holds e.mu.
+// push enqueues ev; caller holds e.mu. The sift-up is hand-rolled (not
+// container/heap) so the scheduler's hot path never boxes an event into
+// an interface allocation.
 func (e *Live) push(ev event) {
 	e.seq++
 	ev.seq = e.seq
-	heap.Push(&e.queue, ev)
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.Less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	e.queue = q
+}
+
+// popMin removes and returns the earliest event; caller holds e.mu and
+// has checked the queue is non-empty. Allocation-free for the same
+// reason as push.
+func (e *Live) popMin() event {
+	q := e.queue
+	min := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < n && q.Less(l, small) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && q.Less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	e.queue = q
+	return min
 }
 
 // loop is the scheduler: pop due events, dispatch, sleep until the next
@@ -274,9 +346,9 @@ func (e *Live) loop() {
 			return
 		}
 		now := e.now()
-		var due []event
+		due := e.due[:0]
 		for e.queue.Len() > 0 && e.queue[0].at <= now {
-			ev := heap.Pop(&e.queue).(event)
+			ev := e.popMin()
 			m := e.machines[ev.id]
 			if m.crashed.Load() {
 				continue
@@ -284,8 +356,12 @@ func (e *Live) loop() {
 			if ev.kind == evStep && ev.gen != m.stepGen {
 				continue // superseded by a Notify
 			}
+			if ev.kind == evStep {
+				m.hot.Store(true) // Notify elides until the machine sleeps
+			}
 			due = append(due, ev)
 		}
+		e.due = due
 		var wait time.Duration = -1
 		if len(due) == 0 && e.queue.Len() > 0 {
 			wait = time.Duration(e.queue[0].at - now)
@@ -337,14 +413,31 @@ func (e *Live) dispatch(ev event) {
 		if !e.stopped && !m.crashed.Load() && m.stepGen == ev.gen {
 			switch hint.Kind {
 			case WakeNow:
+				// Still draining: hot stays set and any nudge is consumed
+				// by the immediate re-step, which observes the new work.
+				m.nudge.Store(false)
 				e.push(event{at: now, kind: evStep, id: ev.id, gen: m.stepGen})
-			case WakeAt:
-				e.push(event{at: hint.At, kind: evStep, id: ev.id, gen: m.stepGen})
-			case WakePark:
-				// No successor entry: the machine sleeps until Notify.
+			case WakeAt, WakePark:
+				// About to sleep: drop hot first, then re-check nudge. A
+				// Notify that raced past the mutex saw hot and only set
+				// nudge — honor it now with an immediate re-step, exactly
+				// what its slow path would have scheduled.
+				m.hot.Store(false)
+				if m.nudge.Swap(false) {
+					m.stepGen++
+					m.hot.Store(true)
+					e.push(event{at: now, kind: evStep, id: ev.id, gen: m.stepGen})
+				} else if hint.Kind == WakeAt {
+					e.push(event{at: hint.At, kind: evStep, id: ev.id, gen: m.stepGen})
+				}
 			default:
 				panic(fmt.Sprintf("engine: invalid wake hint %+v", hint))
 			}
+		} else {
+			// Superseded (a Notify's fresher entry owns the wake-up) or
+			// crashed/stopped: this dispatch no longer controls the
+			// machine's sleep state.
+			m.hot.Store(false)
 		}
 		e.mu.Unlock()
 	case evTimer:

@@ -67,6 +67,23 @@ type KVThroughputPoint struct {
 	ReadsPerSec   float64 `json:"reads_per_sec"`
 }
 
+// ReadPathPoint is one data point of the read-path benchmark: Get
+// latency and throughput of the public KV's read modes — the lease fast
+// path against the freshest-replica local read and the full quorum
+// fence — over an otherwise idle store, so the numbers isolate the read
+// machinery itself.
+type ReadPathPoint struct {
+	Procs     int    `json:"procs"`
+	Substrate string `json:"substrate"`
+	// Mode is the read mode ("lease", "freshest", "quorum").
+	Mode string `json:"mode"`
+	// ReadsPerSec is completed reads per second in that mode; P50Usec and
+	// P99Usec are per-read latency percentiles in microseconds.
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	P50Usec     float64 `json:"p50_usec"`
+	P99Usec     float64 `json:"p99_usec"`
+}
+
 // EngineWakeupPoint is one data point of the engine wakeup benchmark:
 // the same synchronous replicated-write workload over the same consensus
 // stack, once under the legacy blind polling driver (consensus.Drive:
@@ -200,15 +217,19 @@ type LoadCalibrationPoint struct {
 	Pairs    int     `json:"pairs"`
 }
 
-// BenchReport is the envelope of a BENCH_*.json file.
+// BenchReport is the envelope of a BENCH_*.json file. There is
+// deliberately no report-level gomaxprocs field: several benchmarks
+// sweep GOMAXPROCS per point, so a header value would record whatever
+// the process happened to run under at write time and contradict the
+// points — exactly the stale "gomaxprocs": 1 the old header produced.
+// Points that depend on it carry their own.
 type BenchReport struct {
 	// Name identifies the benchmark ("census_contention", ...).
 	Name string `json:"name"`
 	// Unit describes what the points' throughput numbers count.
-	Unit       string `json:"unit"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	NumCPU     int    `json:"num_cpu"`
-	Timestamp  string `json:"timestamp"`
+	Unit      string `json:"unit"`
+	NumCPU    int    `json:"num_cpu"`
+	Timestamp string `json:"timestamp"`
 	// Points holds CensusContentionPoint or FleetQueryPoint values.
 	Points any `json:"points"`
 }
@@ -216,7 +237,6 @@ type BenchReport struct {
 // WriteBenchJSON writes report to dir/BENCH_<name>.json and returns the
 // path.
 func WriteBenchJSON(dir string, report BenchReport) (string, error) {
-	report.GoMaxProcs = runtime.GOMAXPROCS(0)
 	report.NumCPU = runtime.NumCPU()
 	if report.Timestamp == "" {
 		report.Timestamp = time.Now().UTC().Format(time.RFC3339)

@@ -39,7 +39,16 @@ func TestWriteBenchJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatalf("not valid JSON: %v", err)
 	}
-	if back.Name != "census_contention" || back.GoMaxProcs < 1 || back.Timestamp == "" {
+	if back.Name != "census_contention" || back.NumCPU < 1 || back.Timestamp == "" {
 		t.Errorf("envelope = %+v", back)
+	}
+	// The envelope must not carry a report-level gomaxprocs: points that
+	// sweep it record their own, and a header value would be stale.
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["gomaxprocs"]; ok {
+		t.Errorf("report envelope still has a gomaxprocs header: %s", data)
 	}
 }

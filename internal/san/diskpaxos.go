@@ -58,6 +58,13 @@ type DiskPaxos struct {
 	n     int
 	tag   string
 
+	// blockNames and commitNames are the per-process block names,
+	// precomputed once so the scatter-gather reads (see pipe.go) can
+	// alias one immutable name list per request instead of formatting
+	// names on every phase.
+	blockNames  []string
+	commitNames []string
+
 	// seq tags each process's disk writes so retries stay idempotent
 	// (Disk.WriteBlock keeps the highest sequence number).
 	mu  sync.Mutex
@@ -73,12 +80,19 @@ func NewDiskPaxos(disks []*Disk, n int, tag string) (*DiskPaxos, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("san: disk paxos needs at least one process")
 	}
-	return &DiskPaxos{
+	dp := &DiskPaxos{
 		disks: disks,
 		n:     n,
 		tag:   tag,
 		seq:   make(map[int]uint64),
-	}, nil
+	}
+	dp.blockNames = make([]string, n)
+	dp.commitNames = make([]string, n)
+	for p := 0; p < n; p++ {
+		dp.blockNames[p] = dp.blockName(p)
+		dp.commitNames[p] = dp.commitName(p)
+	}
+	return dp, nil
 }
 
 func (dp *DiskPaxos) quorum() int { return len(dp.disks)/2 + 1 }
@@ -98,98 +112,42 @@ func (dp *DiskPaxos) nextSeq(p int) uint64 {
 	return dp.seq[p]
 }
 
-// writeMajority writes (name, val) to all disks and returns once a
-// majority acknowledged; it errors if a majority is unreachable.
+// writeMajority writes (name, val) through every disk's pipeline and
+// returns once a majority acknowledged; it errors if a majority is
+// unreachable. Minority stragglers drain in the background, so the next
+// phase's requests enter the disks' windows while they finish — slot
+// N+1's writes no longer wait for slot N's full fan-out to wind down.
 func (dp *DiskPaxos) writeMajority(p int, name string, val uint64) error {
-	seq := dp.nextSeq(p)
-	ch := make(chan error, len(dp.disks))
-	for _, d := range dp.disks {
-		d := d
-		go func() { ch <- d.WriteBlock(name, seq, val) }()
-	}
-	need, failed := dp.quorum(), 0
-	for got := 0; got < need; {
-		if err := <-ch; err != nil {
-			failed++
-			if failed > len(dp.disks)-need {
-				return ErrNoQuorum
-			}
-			continue
-		}
-		got++
-	}
-	return nil
+	return writeQuorum(dp.disks, name, dp.nextSeq(p), val)
 }
 
 // readAllMajority reads every process's dblock from a majority of disks
 // and returns, per process, the block with the highest sequence number
-// seen. Missing blocks read as zero.
+// seen. Missing blocks read as zero. Each disk serves the whole batch as
+// one scatter-gather request — one queued command and one latency draw —
+// instead of n sequential block reads.
 func (dp *DiskPaxos) readAllMajority(reader int) ([]uint64, error) {
-	type diskRead struct {
-		vals []uint64
-		seqs []uint64
-		err  error
-	}
-	ch := make(chan diskRead, len(dp.disks))
-	for _, d := range dp.disks {
-		d := d
-		go func() {
-			r := diskRead{vals: make([]uint64, dp.n), seqs: make([]uint64, dp.n)}
-			for p := 0; p < dp.n; p++ {
-				seq, val, err := d.ReadBlock(dp.blockName(p))
-				if err != nil {
-					r.err = err
-					break
-				}
-				r.seqs[p], r.vals[p] = seq, val
-			}
-			ch <- r
-		}()
-	}
-	need, failed := dp.quorum(), 0
 	best := make([]uint64, dp.n)
 	bestSeq := make([]uint64, dp.n)
-	for got := 0; got < need; {
-		r := <-ch
-		if r.err != nil {
-			failed++
-			if failed > len(dp.disks)-need {
-				return nil, ErrNoQuorum
-			}
-			continue
-		}
-		got++
-		for p := 0; p < dp.n; p++ {
-			if r.seqs[p] >= bestSeq[p] {
-				bestSeq[p], best[p] = r.seqs[p], r.vals[p]
-			}
-		}
+	if err := gatherQuorum(dp.disks, dp.blockNames, bestSeq, best); err != nil {
+		return nil, err
 	}
 	return best, nil
 }
 
 // checkCommit polls the commit blocks; ok reports whether some process
-// has published a decision.
+// has published a decision. One scatter-gather per disk covers all n
+// commit blocks; a majority suffices because a published decision was
+// acknowledged by a majority, which intersects the one read here.
 func (dp *DiskPaxos) checkCommit(reader int) (uint16, bool, error) {
-	for p := 0; p < dp.n; p++ {
-		// One fresh copy suffices: the commit flag is only ever written
-		// after a decision, so any disk holding it is proof.
-		ch := make(chan uint64, len(dp.disks))
-		for _, d := range dp.disks {
-			d := d
-			go func() {
-				_, val, err := d.ReadBlock(dp.commitName(p))
-				if err != nil {
-					ch <- 0
-					return
-				}
-				ch <- val
-			}()
-		}
-		for i := 0; i < len(dp.disks); i++ {
-			if v := <-ch; v>>16 != 0 { // committed flag in bit 16
-				return uint16(v & dpValMask), true, nil
-			}
+	vals := make([]uint64, dp.n)
+	seqs := make([]uint64, dp.n)
+	if err := gatherQuorum(dp.disks, dp.commitNames, seqs, vals); err != nil {
+		return 0, false, err
+	}
+	for _, v := range vals {
+		if v>>16 != 0 { // committed flag in bit 16
+			return uint16(v & dpValMask), true, nil
 		}
 	}
 	return 0, false, nil

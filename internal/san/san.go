@@ -73,6 +73,14 @@ type Disk struct {
 	lat     Latency
 	rng     *rand.Rand
 	rngMu   sync.Mutex
+
+	// Pipelined access path (see pipe.go): a lazily started pump
+	// goroutine serving a bounded FIFO request window. pipeMu orders
+	// submissions against Close; ReadBlock/WriteBlock bypass the pipe.
+	pipeMu     sync.RWMutex
+	pipeOnce   sync.Once
+	reqs       chan *pipeOp
+	pipeClosed bool
 }
 
 type block struct {
@@ -89,11 +97,16 @@ func NewDisk(lat Latency, seed int64) *Disk {
 	}
 }
 
-func (d *Disk) sleep() {
+// draw samples one operation's latency from the disk's model.
+func (d *Disk) draw() time.Duration {
 	d.rngMu.Lock()
 	dur := d.lat.draw(d.rng)
 	d.rngMu.Unlock()
-	if dur > 0 {
+	return dur
+}
+
+func (d *Disk) sleep() {
+	if dur := d.draw(); dur > 0 {
 		time.Sleep(dur)
 	}
 }
@@ -155,32 +168,79 @@ func (d *Disk) WriteBlock(name string, seq, val uint64) error {
 type DiskMem struct {
 	disks  []*Disk
 	census *shmem.Census
+	count  bool
 }
 
 var _ shmem.Mem = (*DiskMem)(nil)
 
-// NewDiskMem builds a replicated memory for n processes over the disks.
-// len(disks) should be odd; a majority must stay alive.
+// NewDiskMem builds a replicated memory for n processes over the disks,
+// attributing every access in the census. len(disks) should be odd; a
+// majority must stay alive.
 func NewDiskMem(n int, disks []*Disk) (*DiskMem, error) {
+	return newDiskMem(n, disks, true)
+}
+
+// NewUncountedDiskMem is NewDiskMem without census instrumentation: no
+// per-register tracking and no per-access attribution. A recycling log
+// allocates and discards registers continuously, so uninstrumented
+// clusters must not pay a global census mutex and map churn per slot.
+func NewUncountedDiskMem(n int, disks []*Disk) (*DiskMem, error) {
+	return newDiskMem(n, disks, false)
+}
+
+func newDiskMem(n int, disks []*Disk, count bool) (*DiskMem, error) {
 	if len(disks) < 1 {
 		return nil, fmt.Errorf("san: need at least one disk")
 	}
 	return &DiskMem{
 		disks:  disks,
 		census: shmem.NewCensus(n, nil),
+		count:  count,
 	}, nil
 }
 
-// Word allocates a disk-replicated register.
+// Word allocates a disk-replicated register. (The display name is always
+// materialized — unlike atomic memory it doubles as the block address on
+// every disk — but only counted memories track it in the census.)
 func (m *DiskMem) Word(owner int, class string, idx ...int) shmem.Reg {
 	name := shmem.RegName(class, idx...)
-	return &sanReg{
+	r := &sanReg{
 		mem:   m,
 		owner: owner,
 		name:  name,
-		stats: m.census.Track(class, name, owner),
 	}
+	if m.count {
+		r.stats = m.census.Track(class, name, owner)
+	}
+	return r
 }
+
+// WordRowBlock bulk-allocates rows CLASS[tag0+j][0..n-1] (register i of
+// each row owned by process i) over one contiguous backing array — the
+// consensus-instance shape a recycling log re-allocates per window
+// advance. Block names are still materialized eagerly (they address the
+// disks) but the register objects cost three allocations per block.
+func (m *DiskMem) WordRowBlock(class string, tag0, k, n int) [][]shmem.Reg {
+	backing := make([]sanReg, k*n)
+	flat := make([]shmem.Reg, k*n)
+	rows := make([][]shmem.Reg, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			r := &backing[j*n+i]
+			r.mem = m
+			r.owner = i
+			r.name = shmem.RegName(class, tag0+j, i)
+			if m.count {
+				r.stats = m.census.Track(class, r.name, i)
+			}
+			flat[j*n+i] = r
+		}
+		rows[j] = flat[j*n : (j+1)*n : (j+1)*n]
+	}
+	return rows
+}
+
+var _ shmem.RowAllocator = (*DiskMem)(nil)
 
 // Census returns the (process-level) access census.
 func (m *DiskMem) Census() *shmem.Census { return m.census }
@@ -200,7 +260,9 @@ func (m *DiskMem) Discard(reg shmem.Reg) {
 	for _, d := range m.disks {
 		d.DeleteBlock(reg.Name())
 	}
-	m.census.Forget(reg.Name())
+	if m.count {
+		m.census.Forget(reg.Name())
+	}
 }
 
 var _ shmem.Discarder = (*DiskMem)(nil)
@@ -237,42 +299,19 @@ var _ shmem.Reg = (*sanReg)(nil)
 func (r *sanReg) Owner() int   { return r.owner }
 func (r *sanReg) Name() string { return r.name }
 
-// Read implements shmem.Reg: majority read, highest sequence wins.
-// It panics with ErrNoQuorum if a majority of disks has crashed — the
-// register abstraction has no error channel, and losing the quorum is a
+// Read implements shmem.Reg: majority read, highest sequence wins,
+// served through the per-disk pipelines (pipe.go) so a hot register
+// neither spawns goroutines nor allocates per access. It panics with
+// ErrNoQuorum if a majority of disks has crashed — the register
+// abstraction has no error channel, and losing the quorum is a
 // configuration breach in every experiment that uses the SAN.
 func (r *sanReg) Read(pid int) uint64 {
 	if r.dead.Load() {
 		return 0 // reclaimed register: nothing to read
 	}
-	type resp struct {
-		seq, val uint64
-		err      error
-	}
-	ch := make(chan resp, len(r.mem.disks))
-	for _, d := range r.mem.disks {
-		d := d
-		go func() {
-			s, v, err := d.ReadBlock(r.name)
-			ch <- resp{s, v, err}
-		}()
-	}
-	need := r.mem.Quorum()
-	got, failed := 0, 0
-	var bestSeq, bestVal uint64
-	for got < need {
-		rp := <-ch
-		if rp.err != nil {
-			failed++
-			if failed > len(r.mem.disks)-need {
-				panic(ErrNoQuorum)
-			}
-			continue
-		}
-		got++
-		if rp.seq >= bestSeq {
-			bestSeq, bestVal = rp.seq, rp.val
-		}
+	bestSeq, bestVal, err := readQuorum(r.mem.disks, r.name)
+	if err != nil {
+		panic(ErrNoQuorum)
 	}
 	r.cacheMu.Lock()
 	if !r.cacheInit || bestSeq > r.cacheSeq {
@@ -281,7 +320,9 @@ func (r *sanReg) Read(pid int) uint64 {
 		bestVal = r.cacheVal
 	}
 	r.cacheMu.Unlock()
-	r.mem.census.NoteRead(r.stats, pid)
+	if r.stats != nil {
+		r.mem.census.NoteRead(r.stats, pid)
+	}
 	return bestVal
 }
 
@@ -300,22 +341,10 @@ func (r *sanReg) Write(pid int, v uint64) {
 	seq := r.writerSeq
 	r.seqMu.Unlock()
 
-	ch := make(chan error, len(r.mem.disks))
-	for _, d := range r.mem.disks {
-		d := d
-		go func() { ch <- d.WriteBlock(r.name, seq, v) }()
+	if err := writeQuorum(r.mem.disks, r.name, seq, v); err != nil {
+		panic(ErrNoQuorum)
 	}
-	need := r.mem.Quorum()
-	got, failed := 0, 0
-	for got < need {
-		if err := <-ch; err != nil {
-			failed++
-			if failed > len(r.mem.disks)-need {
-				panic(ErrNoQuorum)
-			}
-			continue
-		}
-		got++
+	if r.stats != nil {
+		r.mem.census.NoteWrite(r.stats, pid, v)
 	}
-	r.mem.census.NoteWrite(r.stats, pid, v)
 }

@@ -32,15 +32,112 @@ func NewAtomicMem(n int, count bool) *AtomicMem {
 }
 
 // Word allocates an atomic register initialized to zero.
+//
+// With counting off the register never touches the census: no display
+// name is formatted and nothing is tracked. This matters because a
+// recycling log allocates (and discards) fresh registers continuously —
+// per-slot census bookkeeping would put a fmt.Sprintf, a global mutex
+// and a string-map insert on the steady-state commit path of every
+// uninstrumented cluster.
 func (m *AtomicMem) Word(owner int, class string, idx ...int) Reg {
-	name := RegName(class, idx...)
-	st := m.census.Track(class, name, owner)
-	return &atomicReg{
+	r := &atomicReg{
 		owner:  owner,
-		name:   name,
 		census: m.census,
-		stats:  st,
 		count:  m.count,
+	}
+	r.setIdent(class, idx...)
+	if m.count {
+		r.stats = m.census.Track(class, RegName(class, idx...), owner)
+	}
+	return r
+}
+
+// WordRowBlock allocates k rows of n registers CLASS[tag0+j][0..n-1]
+// (register i of each row owned by process i) over one contiguous
+// backing array of slim blockRegs that share one identity header: a few
+// allocations — and ~40 bytes per register — for the whole block,
+// instead of a ~100-byte object plus an index slice per register.
+// Recycling logs allocate a consensus instance (three rows) per
+// reclaimed slot and reclaim a checkpoint interval of slots at a time,
+// so both the allocation count and the byte volume here are
+// steady-state commit-path churn — GC pressure that grows with
+// GOMAXPROCS.
+func (m *AtomicMem) WordRowBlock(class string, tag0, k, n int) [][]Reg {
+	hdr := &blockHdr{class: class, tag0: tag0, n: n, census: m.census, count: m.count}
+	if m.count {
+		hdr.stats = make([]*RegStats, k*n)
+	}
+	backing := make([]blockReg, k*n)
+	flat := make([]Reg, k*n)
+	rows := make([][]Reg, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			r := &backing[j*n+i]
+			r.hdr = hdr
+			r.i = int32(j*n + i)
+			if m.count {
+				hdr.stats[j*n+i] = m.census.Track(class, RegName(class, tag0+j, i), i)
+			}
+			flat[j*n+i] = r
+		}
+		rows[j] = flat[j*n : (j+1)*n : (j+1)*n]
+	}
+	return rows
+}
+
+// blockHdr is the shared identity of one WordRowBlock: class, base tag,
+// row width and census wiring live here once instead of in every
+// register of the block.
+type blockHdr struct {
+	class  string
+	tag0   int
+	n      int
+	census *Census
+	count  bool
+	stats  []*RegStats // by flat index; nil when counting is off
+}
+
+// blockReg is one register of a row block: the atomic word, the shared
+// header and the flat index (row j, process i at j*n+i) that derives
+// owner, subscripts and — in counted mode — the stats slot. 24 bytes.
+type blockReg struct {
+	value atomic.Uint64
+	hdr   *blockHdr
+	i     int32
+}
+
+var _ Reg = (*blockReg)(nil)
+var _ Seeder = (*blockReg)(nil)
+
+func (r *blockReg) Read(pid int) uint64 {
+	v := r.value.Load()
+	if r.hdr.count {
+		r.hdr.census.NoteRead(r.hdr.stats[r.i], pid)
+	}
+	return v
+}
+
+func (r *blockReg) Write(pid int, v uint64) {
+	if pid != r.Owner() {
+		panic(fmt.Sprintf("shmem: process %d wrote 1WnR register %s owned by %d", pid, r.Name(), r.Owner()))
+	}
+	r.value.Store(v)
+	if r.hdr.count {
+		r.hdr.census.NoteWrite(r.hdr.stats[r.i], pid, v)
+	}
+}
+
+func (r *blockReg) Owner() int { return int(r.i) % r.hdr.n }
+
+func (r *blockReg) Name() string {
+	h := r.hdr
+	return RegName(h.class, h.tag0+int(r.i)/h.n, int(r.i)%h.n)
+}
+
+func (r *blockReg) Seed(v uint64) {
+	r.value.Store(v)
+	if r.hdr.count {
+		r.hdr.census.SeedValue(r.hdr.stats[r.i], v)
 	}
 }
 
@@ -48,18 +145,49 @@ func (m *AtomicMem) Word(owner int, class string, idx ...int) Reg {
 func (m *AtomicMem) Census() *Census { return m.census }
 
 // Discard drops a dead register's census accounting (the word itself is
-// garbage-collected with the register object).
-func (m *AtomicMem) Discard(reg Reg) { m.census.Forget(reg.Name()) }
+// garbage-collected with the register object). Uncounted registers were
+// never tracked, so there is nothing to forget.
+func (m *AtomicMem) Discard(reg Reg) {
+	if m.count {
+		m.census.Forget(reg.Name())
+	}
+}
 
 var _ Discarder = (*AtomicMem)(nil)
+var _ RowAllocator = (*AtomicMem)(nil)
 
 type atomicReg struct {
-	owner  int
-	name   string
-	value  atomic.Uint64
-	census *Census
-	stats  *RegStats
-	count  bool
+	owner int
+	// class plus up to three inline indices carry the identity; the
+	// display name is formatted on demand (panic messages, counted-mode
+	// tracking) so the allocation path never runs fmt and the register
+	// retains no index slice. overflow covers the hypothetical deeper
+	// subscript lists (no current register class has more than three).
+	class    string
+	i0, i1   int
+	i2       int
+	nidx     uint8
+	overflow []int
+	value    atomic.Uint64
+	census   *Census
+	stats    *RegStats
+	count    bool
+}
+
+func (r *atomicReg) setIdent(class string, idx ...int) {
+	r.class = class
+	switch len(idx) {
+	case 0:
+	case 1:
+		r.i0 = idx[0]
+	case 2:
+		r.i0, r.i1 = idx[0], idx[1]
+	case 3:
+		r.i0, r.i1, r.i2 = idx[0], idx[1], idx[2]
+	default:
+		r.overflow = append([]int(nil), idx...)
+	}
+	r.nidx = uint8(len(idx))
 }
 
 var _ Reg = (*atomicReg)(nil)
@@ -75,7 +203,7 @@ func (r *atomicReg) Read(pid int) uint64 {
 
 func (r *atomicReg) Write(pid int, v uint64) {
 	if r.owner != MultiWriter && pid != r.owner {
-		panic(fmt.Sprintf("shmem: process %d wrote 1WnR register %s owned by %d", pid, r.name, r.owner))
+		panic(fmt.Sprintf("shmem: process %d wrote 1WnR register %s owned by %d", pid, r.Name(), r.owner))
 	}
 	r.value.Store(v)
 	if r.count {
@@ -83,10 +211,26 @@ func (r *atomicReg) Write(pid int, v uint64) {
 	}
 }
 
-func (r *atomicReg) Owner() int   { return r.owner }
-func (r *atomicReg) Name() string { return r.name }
+func (r *atomicReg) Owner() int { return r.owner }
+
+func (r *atomicReg) Name() string {
+	switch r.nidx {
+	case 0:
+		return RegName(r.class)
+	case 1:
+		return RegName(r.class, r.i0)
+	case 2:
+		return RegName(r.class, r.i0, r.i1)
+	case 3:
+		return RegName(r.class, r.i0, r.i1, r.i2)
+	default:
+		return RegName(r.class, r.overflow...)
+	}
+}
 
 func (r *atomicReg) Seed(v uint64) {
 	r.value.Store(v)
-	r.census.SeedValue(r.stats, v)
+	if r.count {
+		r.census.SeedValue(r.stats, v)
+	}
 }

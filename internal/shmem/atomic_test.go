@@ -98,3 +98,71 @@ func TestAtomicMemConcurrent(t *testing.T) {
 		t.Errorf("final value %d, want %d", got, writes)
 	}
 }
+
+// TestWordRowBlockEquivalence pins the RowAllocator contract: a block is
+// semantically exactly the Word calls it replaces — same names, same
+// owners, same single-writer discipline, same census attribution.
+func TestWordRowBlockEquivalence(t *testing.T) {
+	const tag0, k, n = 40, 3, 4
+	m := NewAtomicMem(n, true)
+	rows := m.WordRowBlock("DEC", tag0, k, n)
+	if len(rows) != k {
+		t.Fatalf("rows: %d, want %d", len(rows), k)
+	}
+	for j, row := range rows {
+		if len(row) != n {
+			t.Fatalf("row %d width: %d, want %d", j, len(row), n)
+		}
+		for i, r := range row {
+			if r.Owner() != i {
+				t.Errorf("row %d reg %d owner %d, want %d", j, i, r.Owner(), i)
+			}
+			want := RegName("DEC", tag0+j, i)
+			if r.Name() != want {
+				t.Errorf("row %d reg %d name %q, want %q", j, i, r.Name(), want)
+			}
+			r.Write(i, uint64(100*j+i))
+		}
+	}
+	// Values are per-register (the backing array must not alias).
+	for j, row := range rows {
+		for i, r := range row {
+			if got := r.Read(0); got != uint64(100*j+i) {
+				t.Errorf("row %d reg %d value %d, want %d", j, i, got, 100*j+i)
+			}
+		}
+	}
+	// Census attribution matches register-at-a-time allocation.
+	snap := m.Census().Snapshot()
+	rs, ok := snap.Regs[RegName("DEC", tag0+1, 2)]
+	if !ok || rs.TotalWrites() != 1 || rs.ReadsBy[0] != 1 {
+		t.Errorf("census row missing or miscounted: %+v", rs)
+	}
+}
+
+func TestWordRowBlockOwnershipPanic(t *testing.T) {
+	m := NewAtomicMem(3, false)
+	rows := m.WordRowBlock("MBAL", 7, 1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write by non-owner must panic")
+		}
+	}()
+	rows[0][1].Write(2, 1)
+}
+
+// TestWordRowBlockFallback checks the package-level helper against a
+// memory without a bulk path (SimMem): identical shape and naming.
+func TestWordRowBlockFallback(t *testing.T) {
+	m := NewSimMem(3)
+	rows := WordRowBlock(m, "BALINP", 5, 2, 3)
+	if len(rows) != 2 || len(rows[0]) != 3 {
+		t.Fatalf("shape %dx%d, want 2x3", len(rows), len(rows[0]))
+	}
+	if got, want := rows[1][2].Name(), RegName("BALINP", 6, 2); got != want {
+		t.Errorf("fallback name %q, want %q", got, want)
+	}
+	if rows[1][2].Owner() != 2 {
+		t.Errorf("fallback owner %d, want 2", rows[1][2].Owner())
+	}
+}

@@ -76,6 +76,53 @@ func DiscardIfPossible(mem Mem, reg Reg) {
 	}
 }
 
+// RowAllocator is implemented by memories that can bulk-allocate rows
+// of same-class registers: CLASS[tag][i] for i in [0, n), each owned by
+// process i — the shape of one consensus instance's register arrays.
+// Bulk allocation lets the implementation use one contiguous backing
+// array for a whole block of rows, which matters on recycling logs: the
+// window advances a checkpoint interval at a time and re-registers
+// every reclaimed slot, so per-register allocation there is
+// steady-state commit-path churn. Semantically WordRowBlock(class,
+// tag0, k, n) is exactly the k*n Word calls Word(i, class, tag0+j, i);
+// memories without a cheaper bulk path simply do not implement it.
+type RowAllocator interface {
+	// WordRowBlock allocates rows CLASS[tag0+j][0..n-1] for j in
+	// [0, k); row j's register i is owned by process i.
+	WordRowBlock(class string, tag0, k, n int) [][]Reg
+}
+
+// WordRow allocates one row of registers CLASS[tag][0..n-1] (register i
+// owned by process i) through mem's bulk path when it has one, and
+// register by register otherwise.
+func WordRow(mem Mem, class string, tag, n int) []Reg {
+	if ra, ok := mem.(RowAllocator); ok {
+		return ra.WordRowBlock(class, tag, 1, n)[0]
+	}
+	row := make([]Reg, n)
+	for i := range row {
+		row[i] = mem.Word(i, class, tag, i)
+	}
+	return row
+}
+
+// WordRowBlock allocates k rows CLASS[tag0+j][0..n-1] through mem's
+// bulk path when it has one, and row by row otherwise.
+func WordRowBlock(mem Mem, class string, tag0, k, n int) [][]Reg {
+	if ra, ok := mem.(RowAllocator); ok {
+		return ra.WordRowBlock(class, tag0, k, n)
+	}
+	rows := make([][]Reg, k)
+	for j := range rows {
+		row := make([]Reg, n)
+		for i := range row {
+			row[i] = mem.Word(i, class, tag0+j, i)
+		}
+		rows[j] = row
+	}
+	return rows
+}
+
 // RegName renders the canonical display name of a register.
 func RegName(class string, idx ...int) string {
 	switch len(idx) {

@@ -9,6 +9,7 @@ import (
 
 	"omegasm/internal/consensus"
 	"omegasm/internal/engine"
+	"omegasm/internal/lease"
 	"omegasm/internal/vclock"
 )
 
@@ -24,6 +25,35 @@ var ErrNoLeader = errors.New("omegasm: no agreed leader")
 // log checkpoints and recycles slots, so writes never return ErrLogFull.
 var ErrLogFull = errors.New("omegasm: replicated log is full")
 
+// ErrReadUnsupported is returned by Read in the linearizable modes
+// (ReadLease, ReadQuorum) on a store whose log reserves no descriptor
+// row: both modes fence through no-op barrier slots, which only batched
+// or checkpointing logs can carry. Default-options stores checkpoint and
+// support every mode; only KVCheckpointEvery(0) combined with KVBatch(1)
+// hits this.
+var ErrReadUnsupported = errors.New("omegasm: linearizable reads need batching or checkpointing enabled")
+
+// ReadMode selects the consistency/latency point of a KV.Read.
+type ReadMode int
+
+const (
+	// ReadFreshest answers from the freshest readable replica's applied
+	// state without any coordination: sequential consistency (a committed
+	// prefix, possibly stale), the same guarantee as Get. Never blocks.
+	ReadFreshest ReadMode = iota
+	// ReadLease answers linearizably from the lease holder's applied
+	// state when a valid, barrier-complete lease exists — one clock check
+	// and one atomic load, no consensus round. During anarchy, after
+	// lease expiry, or with leases disabled it falls back to a ReadQuorum
+	// round rather than give up linearizability.
+	ReadLease
+	// ReadQuorum answers linearizably by fencing through the log: it
+	// waits for the leader to win a consensus slot armed after the read
+	// began (committing a no-op barrier if the store is idle) and then
+	// reads that replica. Always a full consensus round-trip.
+	ReadQuorum
+)
+
 // KVOption configures NewKV.
 type KVOption func(*kvSettings) error
 
@@ -31,12 +61,24 @@ type KVOption func(*kvSettings) error
 // derives it from the slot count.
 const ckptAuto = -1
 
+// leaseAuto is the sentinel for "lease duration not chosen": NewKV
+// enables leases with a default duration whenever the log can carry the
+// catch-up barrier.
+const leaseAuto = time.Duration(-1)
+
+// defaultLeaseDur is the auto-enabled lease duration: long enough that
+// the holder's refresh cadence (a quarter of it) is negligible work,
+// short enough that a leader crash delays the next writer by at most a
+// few election timeouts.
+const defaultLeaseDur = 20 * time.Millisecond
+
 type kvSettings struct {
 	slots    int
 	interval time.Duration
 	burst    int
 	batch    int
 	ckpt     int
+	lease    time.Duration
 }
 
 // KVSlots sets the replicated log's slot capacity (default 1024). Each
@@ -130,6 +172,29 @@ func KVBatch(n int) KVOption {
 	}
 }
 
+// KVLease sets the leader-lease duration behind ReadLease's local
+// linearizable reads (default: 20ms whenever the log reserves the
+// descriptor row — batching or checkpointing on — which default options
+// do). The agreed leader claims the lease, commits one no-op barrier
+// slot to prove its state covers every prior authority's commits, and
+// then serves linearizable reads from its own applied state until the
+// lease expires; it extends the lease while it leads. Every replica's
+// proposer is gated on holding the lease, so commits never straddle two
+// leases — the price is that after a leader crash the successor waits
+// out the remainder of the dead leader's lease (at most d) before it can
+// commit. KVLease(0) disables leases: ReadLease then degrades to quorum
+// rounds, and proposers are gated only by the Omega oracle, the
+// pre-lease behavior.
+func KVLease(d time.Duration) KVOption {
+	return func(s *kvSettings) error {
+		if d < 0 {
+			return fmt.Errorf("omegasm: lease duration must not be negative, got %v", d)
+		}
+		s.lease = d
+		return nil
+	}
+}
+
 // Entry is one key/value write of a PutAll or MultiPut call.
 type Entry struct {
 	// Key and Val form the command. Key 0xFFFF is reserved on batched
@@ -176,14 +241,23 @@ type KV struct {
 	eng     *engine.Live
 	ids     []int // engine machine id of each replica's driver
 	commits *broadcast
+
+	// lease is the leader-lease register behind ReadLease (nil: leases
+	// off). leaseDur/leaseEps are engine nanoseconds; see KVLease.
+	lease    *lease.Register
+	leaseDur int64
+	leaseEps int64
 }
 
 // broadcast is a reusable close-channel broadcast: waiters grab the
 // current channel and commit signals close it, waking every waiter at
-// once (the shape of Put's commit watch).
+// once (the shape of Put's commit watch). A signal with no waiter since
+// the last reset is free: async writers (Set) commit at full rate
+// without a channel allocation per commit wave.
 type broadcast struct {
-	mu sync.Mutex
-	ch chan struct{}
+	mu     sync.Mutex
+	ch     chan struct{}
+	waited bool
 }
 
 func newBroadcast() *broadcast { return &broadcast{ch: make(chan struct{})} }
@@ -191,13 +265,17 @@ func newBroadcast() *broadcast { return &broadcast{ch: make(chan struct{})} }
 func (b *broadcast) wait() <-chan struct{} {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.waited = true
 	return b.ch
 }
 
 func (b *broadcast) signal() {
 	b.mu.Lock()
-	close(b.ch)
-	b.ch = make(chan struct{})
+	if b.waited {
+		close(b.ch)
+		b.ch = make(chan struct{})
+		b.waited = false
+	}
 	b.mu.Unlock()
 }
 
@@ -207,6 +285,13 @@ type kvMachine struct {
 	idx   int
 	store *consensus.KV
 	burst int
+
+	// Lease state of this replica's reigns: acqGen is the store's fence
+	// generation snapshot taken at the last acquisition, and barrierDone
+	// records that the catch-up barrier for it has completed (the lease
+	// was marked readable). Only this machine's goroutine touches them.
+	acqGen      uint64
+	barrierDone bool
 }
 
 // Step implements engine.Machine. The hint encodes the replica's state:
@@ -232,7 +317,40 @@ func (m *kvMachine) Step(now vclock.Time) engine.Hint {
 	if agreed && leader != m.idx {
 		m.store.DropPending()
 	}
+	// Lease housekeeping, before the burst so a fresh acquisition is
+	// already the arming authority for it: the agreed leader extends its
+	// grant while it holds, or (re)claims one the moment the previous
+	// grant has expired. A demoted or crashed holder simply stops
+	// extending and its grant lapses.
+	holder := false
+	var epoch uint64
+	if kv.lease != nil && agreed && leader == m.idx {
+		if e, held := kv.lease.Held(m.idx, now); held {
+			holder, epoch = true, e
+			kv.lease.Extend(m.idx, now, kv.leaseDur)
+		} else if e, ok := kv.lease.Acquire(m.idx, now, kv.leaseDur, kv.leaseEps); ok {
+			holder, epoch = true, e
+			m.acqGen = m.store.FenceGen()
+			m.barrierDone = false
+		}
+	}
 	newly, pending := m.store.StepBurst(now, m.burst)
+	if holder && !m.barrierDone {
+		// The catch-up barrier: once a proposal armed after the
+		// acquisition wins its ballot, this replica provably holds (and
+		// has applied) every command any earlier authority committed, and
+		// the lease becomes readable. Any write traffic fences for free;
+		// an idle store drives one no-op barrier slot through the log.
+		if m.store.FencedSince(m.acqGen) {
+			kv.lease.MarkReadable(epoch, m.idx)
+			m.barrierDone = true
+		} else if pending == 0 && m.store.PendingLen() == 0 {
+			if m.store.SubmitBarrier() != nil {
+				m.barrierDone = true // barrier-less log: lease stays unreadable
+			}
+			return engine.Now()
+		}
+	}
 	if newly > 0 {
 		// Wake the other replicas to learn the new decisions — but only
 		// from the commit's origin (the agreed leader, or anyone during
@@ -262,6 +380,16 @@ func (m *kvMachine) Step(now vclock.Time) engine.Hint {
 		}
 		return engine.At(now + int64(kv.interval))
 	}
+	// Idle. A leaseholder must not park: its grant needs extending well
+	// before expiry or lease reads go dark between writes. An agreed
+	// leader still waiting out a predecessor's grant polls for the expiry
+	// at the fallback cadence. Everyone else parks until notified.
+	if kv.lease != nil && agreed && leader == m.idx {
+		if holder {
+			return engine.At(now + kv.leaseDur/4)
+		}
+		return engine.At(now + int64(kv.interval))
+	}
 	return engine.Park()
 }
 
@@ -275,7 +403,7 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 	if c == nil {
 		return nil, fmt.Errorf("omegasm: nil cluster")
 	}
-	set := &kvSettings{slots: 1024, interval: c.stepInterval(), burst: 8, batch: 1, ckpt: ckptAuto}
+	set := &kvSettings{slots: 1024, interval: c.stepInterval(), burst: 8, batch: 1, ckpt: ckptAuto, lease: leaseAuto}
 	if c.DiskCount() > 0 {
 		set.burst = 2 // SAN steps cost quorum I/O; idle bursts are not free
 	}
@@ -320,12 +448,30 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 	if err != nil {
 		return nil, fmt.Errorf("omegasm: %w", err)
 	}
+	// Resolve the lease knob against the log's capabilities: the catch-up
+	// barrier needs the descriptor row, so auto-mode enables leases
+	// exactly when the row is reserved, and an explicit request without
+	// it is a configuration error.
+	leaseDur := set.lease
+	if leaseDur == leaseAuto {
+		leaseDur = 0
+		if log.ReservesTopRow() {
+			leaseDur = defaultLeaseDur
+		}
+	} else if leaseDur > 0 && !log.ReservesTopRow() {
+		return nil, fmt.Errorf("omegasm: KVLease needs batching or checkpointing enabled")
+	}
 	stores := make([]*consensus.KV, n)
 	kv := &KV{
 		c:        c,
 		interval: set.interval,
 		eng:      engine.NewLive(engine.LiveConfig{}),
 		commits:  newBroadcast(),
+	}
+	if leaseDur > 0 {
+		kv.lease = &lease.Register{}
+		kv.leaseDur = int64(leaseDur)
+		kv.leaseEps = int64(leaseDur / 8)
 	}
 	for i := 0; i < n; i++ {
 		replica, err := consensus.NewReplica(log, i, c.oracle(i))
@@ -335,6 +481,16 @@ func NewKV(c *Cluster, opts ...KVOption) (*KV, error) {
 		store, err := consensus.NewKV(replica)
 		if err != nil {
 			return nil, fmt.Errorf("omegasm: kv replica %d: %w", i, err)
+		}
+		if kv.lease != nil {
+			// The authority gate: no replica arms a proposal without
+			// holding the lease, which is what makes a valid lease
+			// exclusive commit authority (see internal/lease).
+			reg, id := kv.lease, i
+			store.SetAuthority(func(t vclock.Time) bool {
+				_, held := reg.Held(id, t)
+				return held
+			})
 		}
 		stores[i] = store
 	}
@@ -565,9 +721,108 @@ func (kv *KV) PutAll(ctx context.Context, entries ...Entry) error {
 // Get returns the value of key in the applied state of the freshest
 // readable replica (the leader's when one is agreed). Reads are
 // sequentially consistent: they reflect a committed prefix, possibly a
-// slightly stale one.
+// slightly stale one. For linearizable reads use Read with ReadLease or
+// ReadQuorum.
 func (kv *KV) Get(key uint16) (uint16, bool) {
 	return kv.readStore().Get(key)
+}
+
+// Read returns the value of key under the chosen consistency mode; see
+// ReadMode for the modes' guarantees and costs. ReadFreshest never
+// blocks or errors (ctx is unused). ReadLease answers in two atomic
+// loads while a readable lease is valid and falls back to a quorum
+// round otherwise; ReadQuorum always fences through the log. The
+// blocking modes return ctx's error on cancellation and
+// ErrReadUnsupported on stores without a descriptor row.
+func (kv *KV) Read(ctx context.Context, key uint16, mode ReadMode) (uint16, bool, error) {
+	switch mode {
+	case ReadFreshest:
+		v, ok := kv.readStore().Get(key)
+		return v, ok, nil
+	case ReadLease:
+		if kv.lease != nil {
+			if h, _, ok := kv.lease.ReadableHolder(kv.eng.Now()); ok {
+				// The linearization point is the validity check itself: at
+				// that instant the holder's applied state contains every
+				// committed write (barrier + exclusive authority), and the
+				// holder's state is monotone, so the value read just after
+				// is at least as fresh. The holder may have crashed — its
+				// frozen state is still complete, because nobody else can
+				// commit while its grant is valid.
+				v, ok := kv.stores[h].Get(key)
+				return v, ok, nil
+			}
+		}
+		// Anarchy, expiry, or leases off: preserve linearizability the
+		// slow way rather than silently weaken the read.
+		return kv.readQuorum(ctx, key)
+	case ReadQuorum:
+		return kv.readQuorum(ctx, key)
+	}
+	return 0, false, fmt.Errorf("omegasm: unknown read mode %d", mode)
+}
+
+// readQuorum is the linearizable slow path: wait until the agreed leader
+// wins a consensus slot whose proposal was armed after this call began —
+// proof it has learned and applied every write committed before the call
+// — then answer from its state. Write traffic fences for free; on an
+// idle store the call drives a no-op barrier slot through the log. A
+// leadership change mid-call restarts the fence against the new leader.
+func (kv *KV) readQuorum(ctx context.Context, key uint16) (uint16, bool, error) {
+	if !kv.stores[0].ReservesTopRow() {
+		return 0, false, ErrReadUnsupported
+	}
+	ticker := time.NewTicker(kv.interval)
+	defer ticker.Stop()
+	fencedFrom := -1 // leader the fence generation below was taken from
+	var gen uint64
+	for {
+		// Grab the broadcast channel before checking: progress that lands
+		// after the check closes this channel, so the wait cannot miss it.
+		progress := kv.commits.wait()
+		if l, ok := kv.c.AgreedLeader(); ok && l >= 0 && !kv.c.Crashed(l) {
+			if l != fencedFrom {
+				fencedFrom, gen = l, kv.stores[l].FenceGen()
+			}
+			if kv.stores[l].FencedSince(gen) {
+				v, ok := kv.stores[l].Get(key)
+				return v, ok, nil
+			}
+			if kv.stores[l].PendingLen() == 0 {
+				if err := kv.stores[l].SubmitBarrier(); err != nil {
+					return 0, false, err
+				}
+			}
+			kv.eng.Notify(kv.ids[l])
+		}
+		select {
+		case <-ctx.Done():
+			return 0, false, ctx.Err()
+		case <-progress:
+		case <-ticker.C:
+		}
+	}
+}
+
+// LeaseDuration returns the leader-lease duration behind ReadLease's
+// local linearizable reads (0: leases disabled; see KVLease).
+func (kv *KV) LeaseDuration() time.Duration {
+	if kv.lease == nil {
+		return 0
+	}
+	return time.Duration(kv.leaseDur)
+}
+
+// LeaseHolder returns the replica currently entitled to serve lease
+// reads — the holder of a valid, barrier-complete grant — or ok=false
+// when there is none (anarchy, expiry, barrier still in flight, or
+// leases disabled). ReadLease serves locally exactly when ok.
+func (kv *KV) LeaseHolder() (holder int, ok bool) {
+	if kv.lease == nil {
+		return -1, false
+	}
+	h, _, ok := kv.lease.ReadableHolder(kv.eng.Now())
+	return h, ok
 }
 
 // Len returns the number of keys in the applied state.

@@ -149,6 +149,149 @@ func TestKVSurvivesLeaderCrash(t *testing.T) {
 	}
 }
 
+// TestKVReadModes exercises the three read modes live: leases are on by
+// default, the agreed leader acquires and serves ReadLease locally, and
+// both linearizable modes agree with the committed value.
+func TestKVReadModes(t *testing.T) {
+	c := startCluster(t, fastOpts(3)...)
+	if _, ok := c.WaitForAgreement(10 * time.Second); !ok {
+		t.Fatal("no agreement")
+	}
+	kv, err := omegasm.NewKV(c, omegasm.KVStepInterval(50*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if kv.LeaseDuration() <= 0 {
+		t.Fatalf("LeaseDuration() = %v, want the default lease on", kv.LeaseDuration())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := kv.Put(ctx, 7, 42); err != nil {
+		t.Fatal(err)
+	}
+	// The holder appears once the agreed leader acquires and fences.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := kv.LeaseHolder(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no lease holder became readable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, mode := range []omegasm.ReadMode{
+		omegasm.ReadFreshest, omegasm.ReadLease, omegasm.ReadQuorum,
+	} {
+		v, ok, err := kv.Read(ctx, 7, mode)
+		if err != nil || !ok || v != 42 {
+			t.Errorf("Read(7, mode %d) = %d, %v, %v; want 42", mode, v, ok, err)
+		}
+		if _, ok, err := kv.Read(ctx, 999, mode); ok || err != nil {
+			t.Errorf("Read(999, mode %d) = ok %v, err %v on absent key", mode, ok, err)
+		}
+	}
+}
+
+// TestLeaseReadZeroAllocs is the allocation regression gate for the
+// lease-read fast path: once the holder's grant is readable, a
+// ReadLease (and the ReadFreshest it builds on) is two atomic loads
+// plus an array read — zero heap allocations per call.
+func TestLeaseReadZeroAllocs(t *testing.T) {
+	c := startCluster(t, fastOpts(3)...)
+	if _, ok := c.WaitForAgreement(10 * time.Second); !ok {
+		t.Fatal("no agreement")
+	}
+	kv, err := omegasm.NewKV(c, omegasm.KVStepInterval(50*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := kv.Put(ctx, 7, 42); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := kv.LeaseHolder(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no lease holder became readable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, mode := range []omegasm.ReadMode{omegasm.ReadLease, omegasm.ReadFreshest} {
+		mode := mode
+		avg := testing.AllocsPerRun(500, func() {
+			if v, ok, err := kv.Read(ctx, 7, mode); err != nil || !ok || v != 42 {
+				t.Fatalf("Read(7, mode %d) = %d, %v, %v", mode, v, ok, err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("read mode %d allocates %.2f times/op, want 0", mode, avg)
+		}
+	}
+}
+
+// TestKVReadModesLeaseOff covers the degraded configurations: KVLease(0)
+// keeps both linearizable modes working via the quorum fence, and a store
+// without a descriptor row rejects them with ErrReadUnsupported.
+func TestKVReadModesLeaseOff(t *testing.T) {
+	c := startCluster(t, fastOpts(3)...)
+	if _, ok := c.WaitForAgreement(10 * time.Second); !ok {
+		t.Fatal("no agreement")
+	}
+	kv, err := omegasm.NewKV(c,
+		omegasm.KVStepInterval(50*time.Microsecond), omegasm.KVLease(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if d := kv.LeaseDuration(); d != 0 {
+		t.Fatalf("LeaseDuration() = %v with KVLease(0)", d)
+	}
+	if _, ok := kv.LeaseHolder(); ok {
+		t.Error("LeaseHolder() ok with leases disabled")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := kv.Put(ctx, 3, 9); err != nil {
+		t.Fatal(err)
+	}
+	// ReadLease falls back to the quorum path; both stay linearizable.
+	for _, mode := range []omegasm.ReadMode{omegasm.ReadLease, omegasm.ReadQuorum} {
+		if v, ok, err := kv.Read(ctx, 3, mode); err != nil || !ok || v != 9 {
+			t.Errorf("Read(3, mode %d) = %d, %v, %v; want 9", mode, v, ok, err)
+		}
+	}
+
+	// No descriptor row: unbatched, checkpoint-free logs have nowhere to
+	// decide a fence no-op, so the linearizable modes refuse.
+	c2 := startCluster(t, fastOpts(3)...)
+	if _, ok := c2.WaitForAgreement(10 * time.Second); !ok {
+		t.Fatal("no agreement on second cluster")
+	}
+	plain, err := omegasm.NewKV(c2,
+		omegasm.KVCheckpointEvery(0), omegasm.KVBatch(1),
+		omegasm.KVStepInterval(50*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if err := plain.Put(ctx, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := plain.Read(ctx, 1, omegasm.ReadQuorum); err != omegasm.ErrReadUnsupported {
+		t.Errorf("ReadQuorum on plain store: err = %v, want ErrReadUnsupported", err)
+	}
+	if v, ok, err := plain.Read(ctx, 1, omegasm.ReadFreshest); err != nil || !ok || v != 2 {
+		t.Errorf("ReadFreshest on plain store = %d, %v, %v", v, ok, err)
+	}
+}
+
 func TestKVValidation(t *testing.T) {
 	if _, err := omegasm.NewKV(nil); err == nil {
 		t.Error("nil cluster accepted")

@@ -185,6 +185,13 @@ func (c *Cluster) Start() error { return c.rt.Start() }
 func (c *Cluster) Stop() {
 	c.rt.Stop()
 	c.stopServices()
+	// Retire the SAN disks' pipeline pumps last: services and processes
+	// are joined, so no quorum traffic is left to submit. Stragglers
+	// after this point (a KV closed out of order) degrade to the
+	// synchronous disk path instead of deadlocking.
+	for _, d := range c.disks {
+		d.Close()
+	}
 }
 
 // N returns the number of processes.

@@ -7,6 +7,7 @@ import (
 	"omegasm/internal/consensus"
 	"omegasm/internal/core"
 	"omegasm/internal/engine"
+	"omegasm/internal/lease"
 	"omegasm/internal/sched"
 	"omegasm/internal/shmem"
 	"omegasm/internal/vclock"
@@ -106,6 +107,16 @@ type SimKVConfig struct {
 	// time is reported in the result's Requests (parallel bookkeeping to
 	// Writes, which tracks only a delivered count).
 	Requests []SimRequest
+	// Lease, when positive, turns on leader leases of that many virtual
+	// ticks: replicas may only arm proposals while holding the lease
+	// (KVLease's authority gate under the deterministic engine, with
+	// eps 0 — a machine's clock read and its effects are one atomic
+	// activation), and a monitor machine performs a lease read every few
+	// ticks, recording the grant history and checking the linearizability
+	// invariants into the result's LeaseGrants / LeaseViolations. Requires
+	// checkpointing (the descriptor row carries the catch-up barriers);
+	// zero leaves leases off, the prior behavior.
+	Lease int64
 }
 
 // SimKVResult is the outcome of a simulated run. For a fixed SimKVConfig
@@ -149,8 +160,36 @@ type SimKVResult struct {
 	// ordered by Index (the submitted slice's order). Empty when the
 	// config had no Requests.
 	Requests []SimRequestResult
+	// LeaseGrants is the full lease-acquisition history of a leased run
+	// (SimKVConfig.Lease > 0), in acquisition order.
+	LeaseGrants []SimLeaseGrant
+	// LeaseReads counts monitor reads served lease-locally; LeaseFallbacks
+	// counts monitor activations that found no readable grant (anarchy,
+	// expiry, or a barrier still in flight) and would have fallen back to
+	// a quorum read.
+	LeaseReads, LeaseFallbacks int
+	// LeaseViolations lists every lease-linearizability violation the
+	// monitor or the history audit detected, humanly readable and
+	// deterministic for a fixed config. A correct implementation always
+	// leaves it empty; the seeded crash campaigns assert exactly that.
+	LeaseViolations []string
 	// End is the virtual time at which the run ended.
 	End int64
+}
+
+// SimLeaseGrant is one recorded lease acquisition of a leased simulated
+// run (the register history of internal/lease, decoded for results).
+type SimLeaseGrant struct {
+	// Epoch is the grant's epoch; strictly increasing across the history.
+	Epoch uint64
+	// Holder is the acquiring process.
+	Holder int
+	// AcquiredAt and Expiry bound the granted window in virtual ticks
+	// (Expiry as granted; extensions push the live register further).
+	AcquiredAt, Expiry int64
+	// PrevExpiry is the previous grant's final expiry as observed by this
+	// acquisition; AcquiredAt > PrevExpiry is the no-overlap invariant.
+	PrevExpiry int64
 }
 
 // normalize fills the config's defaults and returns the validated shard
@@ -177,6 +216,7 @@ func (cfg *SimKVConfig) normalize() (simShardConfig, error) {
 		ckptEvery: resolveSimCkpt(cfg.CheckpointEvery, cfg.Slots, cfg.N),
 		crashes:   cfg.Crashes,
 		writes:    cfg.Writes,
+		lease:     cfg.Lease,
 	}
 	for i, r := range cfg.Requests {
 		shard.requests = append(shard.requests, simIndexedRequest{req: r, index: i})
@@ -214,6 +254,9 @@ type simShardConfig struct {
 	// that many commands queued on the shard's leader (the saturation
 	// workload of the scaling benchmark).
 	window int
+	// lease, when positive, is the leader-lease duration in ticks
+	// (authority-gated proposing plus the lease-read monitor).
+	lease int64
 }
 
 // simIndexedRequest pairs an open-loop request with its position in the
@@ -286,6 +329,12 @@ func (c *simShardConfig) validate() error {
 	if c.window < 0 {
 		return fmt.Errorf("omegasm: saturation window %d is negative", c.window)
 	}
+	if c.lease < 0 {
+		return fmt.Errorf("omegasm: lease duration %d is negative", c.lease)
+	}
+	if c.lease > 0 && c.ckptEvery == 0 && c.batch <= 1 {
+		return fmt.Errorf("omegasm: leases need a log that reserves the descriptor row (enable checkpointing or batching)")
+	}
 	return nil
 }
 
@@ -298,6 +347,11 @@ type simRun struct {
 	ids     []int // replica machine ids, for wake notifications
 	writer  *simWriter
 	open    *simOpenLoad
+
+	// Lease machinery of a leased run (cfg.lease > 0), nil otherwise.
+	lease    *lease.Register
+	leaseDur int64
+	monitor  *simLeaseMonitor
 }
 
 // live reports whether process p is scheduled to be alive at time now.
@@ -344,21 +398,63 @@ func (m simProcMachine) OnTimer(now vclock.Time) uint64 { return m.p.OnTimer(now
 
 // simReplicaMachine drives one replica's store under the adversary's
 // pacing. Unlike the live engine there is no burst draining: the pacing
-// is the asynchrony model, so each wake is one micro-step.
+// is the asynchrony model, so each wake is one micro-step. On a leased
+// run it also performs the holder's housekeeping, mirroring the live
+// kvMachine: extend while holding, acquire when agreed leader, and fence
+// a fresh grant with a catch-up barrier before marking it readable.
 type simReplicaMachine struct {
 	r   *simRun
 	idx int
+
+	// Lease catch-up bookkeeping (leased runs only): the fence generation
+	// snapshot taken at acquisition, the grant epoch it fences, and
+	// whether the barrier completed (the grant is marked readable).
+	acqGen      uint64
+	acqEpoch    uint64
+	barrierDone bool
 }
 
 //omegalint:allow wakehint sim-only machine: each wake is one paced micro-step of the asynchrony model, so WakeNow cannot spin
-func (m simReplicaMachine) Step(now vclock.Time) engine.Hint {
+func (m *simReplicaMachine) Step(now vclock.Time) engine.Hint {
+	r := m.r
+	kv := r.kvs[m.idx]
+	holder := false
+	if r.lease != nil {
+		if epoch, ok := r.lease.Held(m.idx, now); ok {
+			holder = r.lease.Extend(m.idx, now, r.leaseDur)
+			m.acqEpoch = epoch
+		} else if l, ok := r.agreedLeader(now); ok && l == m.idx {
+			// Expired or never held: (re)acquire under a fresh epoch. The
+			// fence snapshot is taken before this step's proposing, so the
+			// barrier provably covers every prior authority's commits.
+			if epoch, ok := r.lease.Acquire(m.idx, now, r.leaseDur, 0); ok {
+				holder = true
+				m.acqEpoch = epoch
+				m.acqGen = kv.FenceGen()
+				m.barrierDone = false
+			}
+		}
+	}
 	// Shed the queue under another replica's reign before stepping, as the
 	// live kvMachine does (the watcher alone leaves a window in which a
 	// re-elected stale queue could commit old writes after newer ones).
-	if l, ok := m.r.agreedLeader(now); ok && l != m.idx {
-		m.r.kvs[m.idx].DropPending()
+	if l, ok := r.agreedLeader(now); ok && l != m.idx {
+		kv.DropPending()
 	}
-	m.r.kvs[m.idx].Step(now)
+	kv.Step(now)
+	if holder && !m.barrierDone {
+		if kv.FencedSince(m.acqGen) {
+			r.lease.MarkReadable(m.acqEpoch, m.idx)
+			m.barrierDone = true
+		} else if kv.PendingLen() == 0 {
+			// Idle store: nothing in flight will fence for us, so commit a
+			// no-op barrier. Submission failures cannot happen here (leased
+			// runs validated the descriptor row), but stay defensive.
+			if kv.SubmitBarrier() != nil {
+				m.barrierDone = true
+			}
+		}
+	}
 	return engine.Now()
 }
 
@@ -386,6 +482,59 @@ func (w *simWatcher) Step(now vclock.Time) engine.Hint {
 		}
 	}
 	return engine.At(now + 16)
+}
+
+// simLeaseMonitor is the adversarial lease-read client of a leased run:
+// every few ticks it performs the exact lease-read protocol (readable
+// grant -> serve from the holder's applied state) and checks the two
+// properties a lease read must never break, across any crash schedule:
+//
+//   - Reads never go back in time: the serving replica's applied
+//     watermark is non-decreasing across consecutive lease reads, even
+//     when the serving holder changes across a crash + re-acquisition.
+//
+//   - Reads are never stale: at the instant of a served read, no live
+//     replica's committed stream exceeds the serving holder's applied
+//     state. While a readable grant is valid its holder is the only
+//     commit authority and applies its own commits in the same atomic
+//     activation, so any exceedance means a second authority committed
+//     under the lease — exactly the straddle the design must exclude.
+//
+// Violations are recorded as deterministic strings; a correct
+// implementation never produces any.
+type simLeaseMonitor struct {
+	r *simRun
+
+	reads       int
+	fallbacks   int
+	lastApplied int
+	lastEpoch   uint64
+	violations  []string
+}
+
+func (m *simLeaseMonitor) Step(now vclock.Time) engine.Hint {
+	holder, epoch, ok := m.r.lease.ReadableHolder(now)
+	if !ok {
+		m.fallbacks++
+		return engine.At(now + 4)
+	}
+	m.reads++
+	kv := m.r.kvs[holder]
+	applied := kv.Applied()
+	if applied < m.lastApplied {
+		m.violations = append(m.violations, fmt.Sprintf(
+			"t=%d epoch=%d holder=%d: lease read went back in time (applied %d after %d)",
+			now, epoch, holder, applied, m.lastApplied))
+	}
+	for p, other := range m.r.kvs {
+		if p != holder && m.r.live(p, now) && other.CommittedLen() > applied {
+			m.violations = append(m.violations, fmt.Sprintf(
+				"t=%d epoch=%d holder=%d: stale lease read (replica %d committed %d > holder applied %d)",
+				now, epoch, holder, p, other.CommittedLen(), applied))
+		}
+	}
+	m.lastApplied, m.lastEpoch = applied, epoch
+	return engine.At(now + 4)
 }
 
 // simActiveWrite is one workload write in flight.
@@ -674,6 +823,11 @@ func addSimShard(sim *engine.Sim, cfg simShardConfig) (*simRun, error) {
 	if err != nil {
 		return nil, fmt.Errorf("omegasm: sim log: %w", err)
 	}
+	if cfg.lease > 0 {
+		run.lease = &lease.Register{}
+		run.lease.EnableHistory()
+		run.leaseDur = cfg.lease
+	}
 	for i := 0; i < n; i++ {
 		i := i
 		replica, err := consensus.NewReplica(log, i, func() int { return run.procs[i].Leader() })
@@ -684,15 +838,29 @@ func addSimShard(sim *engine.Sim, cfg simShardConfig) (*simRun, error) {
 		if err != nil {
 			return nil, fmt.Errorf("omegasm: sim replica %d: %w", i, err)
 		}
+		if run.lease != nil {
+			// The authority gate: a replica only arms proposals while its
+			// lease is valid, which is what confines commits to grant
+			// windows (same wiring as NewKV's live stores).
+			reg := run.lease
+			kv.SetAuthority(func(t vclock.Time) bool {
+				_, held := reg.Held(i, t)
+				return held
+			})
+		}
 		run.kvs = append(run.kvs, kv)
 		opts := []engine.SimOpt{engine.WithPacing(sched.Uniform{Min: 1, Max: 8})}
 		if ct, ok := cfg.crashes[i]; ok {
 			opts = append(opts, engine.WithCrashAt(ct))
 		}
-		run.ids = append(run.ids, sim.Add(simReplicaMachine{r: run, idx: i}, opts...))
+		run.ids = append(run.ids, sim.Add(&simReplicaMachine{r: run, idx: i}, opts...))
 	}
 
 	sim.Add(&simWatcher{r: run, lastLeader: -1}, engine.WithFirstWakeAt(16))
+	if run.lease != nil {
+		run.monitor = &simLeaseMonitor{r: run}
+		sim.Add(run.monitor, engine.WithFirstWakeAt(16))
+	}
 
 	if len(cfg.writes) > 0 {
 		writes := append([]SimWrite(nil), cfg.writes...)
@@ -734,6 +902,38 @@ func (r *simRun) collect(end vclock.Time) *SimKVResult {
 	}
 	if r.writer != nil {
 		res.Delivered = r.writer.delivered
+	}
+	if r.lease != nil {
+		res.LeaseReads = r.monitor.reads
+		res.LeaseFallbacks = r.monitor.fallbacks
+		res.LeaseViolations = append(res.LeaseViolations, r.monitor.violations...)
+		hist := r.lease.History()
+		var prev lease.Grant
+		for i, g := range hist {
+			res.LeaseGrants = append(res.LeaseGrants, SimLeaseGrant{
+				Epoch: g.Epoch, Holder: g.Holder,
+				AcquiredAt: int64(g.AcquiredAt), Expiry: int64(g.Expiry),
+				PrevExpiry: int64(g.PrevExpiry),
+			})
+			// The history audit: epochs strictly increase, and no grant's
+			// window opens before the previous one's (extension-included)
+			// expiry passed — two leases never overlap in time.
+			if i > 0 && g.Epoch != prev.Epoch+1 {
+				res.LeaseViolations = append(res.LeaseViolations, fmt.Sprintf(
+					"grant %d: epoch %d after %d, want +1", i, g.Epoch, prev.Epoch))
+			}
+			if g.AcquiredAt <= g.PrevExpiry {
+				res.LeaseViolations = append(res.LeaseViolations, fmt.Sprintf(
+					"grant %d: epoch %d (holder %d) acquired at %d inside the previous window (expiry %d) — leases overlap",
+					i, g.Epoch, g.Holder, g.AcquiredAt, g.PrevExpiry))
+			}
+			if i > 0 && g.PrevExpiry < prev.Expiry {
+				res.LeaseViolations = append(res.LeaseViolations, fmt.Sprintf(
+					"grant %d: observed previous expiry %d below the granted %d — expiry regressed",
+					i, g.PrevExpiry, prev.Expiry))
+			}
+			prev = g
+		}
 	}
 	if r.open != nil {
 		for _, ar := range r.open.reqs {

@@ -139,7 +139,12 @@ func (s sanSubstrate) open(n int, instrument bool) (*openedMem, error) {
 			Spike:  cfg.Spike,
 		}, cfg.Seed+int64(d))
 	}
-	mem, err := san.NewDiskMem(n, disks)
+	var mem *san.DiskMem
+	if instrument {
+		mem, err = san.NewDiskMem(n, disks)
+	} else {
+		mem, err = san.NewUncountedDiskMem(n, disks)
+	}
 	if err != nil {
 		return nil, err
 	}
