@@ -1,0 +1,231 @@
+// Package check is the correctness checker behind the adversarial
+// scenario campaigns: it consumes per-operation invocation/response
+// histories recorded from deterministic SimKV/SimShardedKV runs (or any
+// other harness that can produce a History, including the live KV) and
+// verifies the guarantees the stack claims — linearizability of the
+// write stream and of strong-mode reads, durability of every
+// acknowledged write across checkpoint recycling, per-client read
+// monotonicity, and lease no-overlap under a clock-skew bound eps.
+//
+// The checker is deliberately honest about guarantee tiers. Writes and
+// lease/quorum reads are linearizable, so violations there are hard
+// failures. Freshest-mode reads are sequentially consistent by design
+// (they serve from a replica's applied state without coordination), so
+// staleness and cross-crash monotonicity regressions are reported as
+// near-misses — anomaly signal the campaign scorer ranks runs by — while
+// phantom values (a read observing a value no write produced) stay hard
+// violations even in that mode.
+//
+// Everything in this package is deterministic: verdicts are pure
+// functions of the history, strings are stable run over run, and the
+// canonical byte rendering (History.Canonical) is what the committed
+// regression scenarios hash to assert byte-identical replays.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind distinguishes operation types in a history.
+type Kind int
+
+// Operation kinds.
+const (
+	// Put is a write of (Key, Val); completion means the client saw the
+	// write acknowledged as committed.
+	Put Kind = iota
+	// Get is a read of Key observing (Val, Found).
+	Get
+)
+
+// Mode is the consistency tier a read was served under; writes ignore it.
+type Mode int
+
+// Read modes, mirroring the public KV's read ladder.
+const (
+	// Freshest is the uncoordinated freshest-replica read: sequential
+	// consistency, checked for phantoms and scored for staleness.
+	Freshest Mode = iota
+	// Lease is a lease-local read: linearizable, checked strictly.
+	Lease
+	// Quorum is a fenced quorum read: linearizable, checked strictly.
+	Quorum
+)
+
+// Op is one client operation of a history: an invocation/response event
+// pair with the observed outcome.
+type Op struct {
+	// Client identifies the issuing client; per-client order is the
+	// program order monotonicity is checked against.
+	Client int
+	// Kind says whether the operation is a Put or a Get.
+	Kind Kind
+	// Mode is the read's consistency tier (ignored for Puts).
+	Mode Mode
+	// Key is the operation's key.
+	Key uint16
+	// Val is the written value (Put) or the observed value (Get).
+	Val uint16
+	// Found reports whether a Get observed the key as present.
+	Found bool
+	// Invoke is the invocation time in virtual ticks.
+	Invoke int64
+	// Return is the response time in virtual ticks, -1 if the operation
+	// was still outstanding when the run ended (pending operations
+	// constrain nothing).
+	Return int64
+}
+
+// Commit is one known entry of the global committed command stream, as
+// observed by any replica that individually applied it. Positions a
+// replica skipped by installing a snapshot are simply absent.
+type Commit struct {
+	// Pos is the entry's global position in the committed stream,
+	// checkpoint-summarized prefix included.
+	Pos int
+	// Key and Val are the committed Set command's decoded pair.
+	Key, Val uint16
+}
+
+// Grant is one recorded lease acquisition, in acquisition order.
+type Grant struct {
+	// Epoch is the grant's epoch; the register CAS makes consecutive
+	// epochs differ by exactly one.
+	Epoch uint64
+	// Holder is the acquiring process.
+	Holder int
+	// AcquiredAt and Expiry bound the granted window in virtual ticks.
+	AcquiredAt, Expiry int64
+	// PrevExpiry is the previous grant's final (extension-included)
+	// expiry as observed by this acquisition; 0 for the first grant.
+	PrevExpiry int64
+}
+
+// History is the full record of one run, assembled by the recorder.
+type History struct {
+	// Ops is the client operation history, in recording order.
+	Ops []Op
+	// Commits lists every known position of the committed command
+	// stream, ascending by Pos, merged across all replicas' applies.
+	Commits []Commit
+	// FinalApplied is how many commands of the committed stream the
+	// freshest live replica had applied when the run ended.
+	FinalApplied int
+	// Final is that replica's applied key-value state at the end.
+	Final map[uint16]uint16
+	// Grants is the lease acquisition history (empty when unleased).
+	Grants []Grant
+	// External carries invariant breaches detected outside the checker
+	// (e.g. the sim's in-run lease-read monitor); Verify folds them into
+	// the verdict's violations verbatim.
+	External []string
+}
+
+// Options tunes a Verify call.
+type Options struct {
+	// Eps is the clock-skew bound of the lease no-overlap check: two
+	// grants whose windows come within Eps ticks of each other overlap.
+	// Under the deterministic simulator 0 is exact.
+	Eps int64
+	// MaxStates caps the linearization search per key; a key whose
+	// search exceeds it is reported as undecided rather than burning
+	// unbounded time. 0 picks the default (1 << 20).
+	MaxStates int
+}
+
+// Verdict is the outcome of a Verify: violations are proven guarantee
+// breaches, near-misses are anomalies legal under the claimed guarantee
+// tier but scored by the campaign, undecided lists checks that hit a
+// search cap.
+type Verdict struct {
+	// Violations are proven breaches of claimed guarantees.
+	Violations []string
+	// NearMisses are legal-but-suspicious anomalies (staleness,
+	// monotonicity regressions across crashes, unprovable durability).
+	NearMisses []string
+	// Undecided lists linearization searches that exceeded MaxStates.
+	Undecided []string
+}
+
+// OK reports whether the verdict has no violations.
+func (v Verdict) OK() bool { return len(v.Violations) == 0 }
+
+// Verify runs every check over the history and returns the verdict: the
+// external breaches, lease-grant audit, durability of acknowledged
+// writes, final-state replay, per-key linearizability of the write
+// stream and strong reads, phantom/staleness analysis of freshest
+// reads, and per-client read monotonicity.
+func Verify(h *History, opt Options) Verdict {
+	var v Verdict
+	v.Violations = append(v.Violations, h.External...)
+	v.Violations = append(v.Violations, Leases(h.Grants, opt.Eps)...)
+	checkDurability(h, &v)
+	checkFinalState(h, &v)
+	checkWriteOrder(h, &v)
+	checkLinearizable(h, opt, &v)
+	checkReads(h, &v)
+	return v
+}
+
+// Canonical renders the history as deterministic bytes: the stable
+// serialization the committed regression scenarios hash, so "replayed
+// byte-identically" is a one-line comparison. Two histories are equal
+// iff their canonical bytes are.
+func (h *History) Canonical() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ops %d\n", len(h.Ops))
+	for _, op := range h.Ops {
+		fmt.Fprintf(&b, "c%d k%d m%d key%d val%d f%t i%d r%d\n",
+			op.Client, op.Kind, op.Mode, op.Key, op.Val, op.Found, op.Invoke, op.Return)
+	}
+	fmt.Fprintf(&b, "commits %d\n", len(h.Commits))
+	for _, c := range h.Commits {
+		fmt.Fprintf(&b, "p%d key%d val%d\n", c.Pos, c.Key, c.Val)
+	}
+	fmt.Fprintf(&b, "applied %d\n", h.FinalApplied)
+	keys := make([]int, 0, len(h.Final))
+	for k := range h.Final {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "final key%d val%d\n", k, h.Final[uint16(k)])
+	}
+	fmt.Fprintf(&b, "grants %d\n", len(h.Grants))
+	for _, g := range h.Grants {
+		fmt.Fprintf(&b, "e%d h%d a%d x%d p%d\n",
+			g.Epoch, g.Holder, g.AcquiredAt, g.Expiry, g.PrevExpiry)
+	}
+	for _, s := range h.External {
+		fmt.Fprintf(&b, "ext %s\n", s)
+	}
+	return []byte(b.String())
+}
+
+// Leases audits a grant history for the lease invariants: epochs advance
+// by exactly one (the register CAS admits nothing else), no grant's
+// window opens within eps of the previous grant's final expiry (the
+// no-two-valid-leases-overlap property under clock skew eps), and the
+// observed previous expiry never regresses below what was granted.
+func Leases(grants []Grant, eps int64) []string {
+	var out []string
+	for i, g := range grants {
+		if i > 0 && g.Epoch != grants[i-1].Epoch+1 {
+			out = append(out, fmt.Sprintf(
+				"grant %d: epoch %d after %d, want +1", i, g.Epoch, grants[i-1].Epoch))
+		}
+		if g.AcquiredAt <= g.PrevExpiry+eps {
+			out = append(out, fmt.Sprintf(
+				"grant %d: epoch %d (holder %d) acquired at %d within eps %d of the previous window (expiry %d) — leases overlap",
+				i, g.Epoch, g.Holder, g.AcquiredAt, eps, g.PrevExpiry))
+		}
+		if i > 0 && g.PrevExpiry < grants[i-1].Expiry {
+			out = append(out, fmt.Sprintf(
+				"grant %d: observed previous expiry %d below the granted %d — expiry regressed",
+				i, g.PrevExpiry, grants[i-1].Expiry))
+		}
+	}
+	return out
+}

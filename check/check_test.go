@@ -1,0 +1,238 @@
+package check_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"omegasm/check"
+)
+
+// cleanHistory is a small correct run: two acknowledged writes, strong
+// and freshest reads observing them in order, a gap-free committed
+// stream and a matching final state.
+func cleanHistory() *check.History {
+	return &check.History{
+		Ops: []check.Op{
+			{Client: 0, Kind: check.Put, Key: 1, Val: 10, Invoke: 100, Return: 200},
+			{Client: 0, Kind: check.Put, Key: 1, Val: 11, Invoke: 300, Return: 400},
+			{Client: 1, Kind: check.Get, Mode: check.Quorum, Key: 1, Val: 11, Found: true, Invoke: 500, Return: 600},
+			{Client: 1, Kind: check.Get, Mode: check.Freshest, Key: 1, Val: 11, Found: true, Invoke: 700, Return: 700},
+		},
+		Commits:      []check.Commit{{Pos: 0, Key: 1, Val: 10}, {Pos: 1, Key: 1, Val: 11}},
+		FinalApplied: 2,
+		Final:        map[uint16]uint16{1: 11},
+	}
+}
+
+func TestVerifyCleanHistory(t *testing.T) {
+	v := check.Verify(cleanHistory(), check.Options{})
+	if !v.OK() || len(v.NearMisses) != 0 || len(v.Undecided) != 0 {
+		t.Fatalf("clean history flagged: %+v", v)
+	}
+}
+
+func TestVerifyLostAcknowledgedWrite(t *testing.T) {
+	h := cleanHistory()
+	// The second acknowledged Put vanishes from the committed stream.
+	h.Ops = h.Ops[:2]
+	h.Commits = h.Commits[:1]
+	h.FinalApplied = 1
+	h.Final = map[uint16]uint16{1: 10}
+	v := check.Verify(h, check.Options{})
+	if v.OK() {
+		t.Fatal("lost acknowledged write not detected")
+	}
+	if !containsSub(v.Violations, "committed write was lost") {
+		t.Fatalf("wrong violation: %v", v.Violations)
+	}
+}
+
+func TestVerifyLostWriteUnprovableWithGaps(t *testing.T) {
+	h := cleanHistory()
+	h.Ops = h.Ops[:2]
+	// Position 1 is unrecorded (a snapshot-install gap): absence of the
+	// second write is unprovable, so it must downgrade to a near-miss.
+	h.Commits = h.Commits[:1]
+	h.Final = nil
+	v := check.Verify(h, check.Options{})
+	if !v.OK() {
+		t.Fatalf("gap history must not hard-fail: %v", v.Violations)
+	}
+	if !containsSub(v.NearMisses, "durability unprovable") {
+		t.Fatalf("missing near-miss: %v", v.NearMisses)
+	}
+}
+
+func TestVerifyPhantomRead(t *testing.T) {
+	h := cleanHistory()
+	h.Ops = append(h.Ops, check.Op{
+		Client: 2, Kind: check.Get, Mode: check.Freshest,
+		Key: 1, Val: 99, Found: true, Invoke: 800, Return: 800,
+	})
+	v := check.Verify(h, check.Options{})
+	if !containsSub(v.Violations, "phantom value") {
+		t.Fatalf("phantom read not detected: %+v", v)
+	}
+}
+
+func TestVerifyFutureRead(t *testing.T) {
+	h := cleanHistory()
+	// A read observes value 12 before the Put producing it is invoked.
+	h.Ops = append(h.Ops,
+		check.Op{Client: 2, Kind: check.Get, Mode: check.Freshest, Key: 1, Val: 12, Found: true, Invoke: 800, Return: 810},
+		check.Op{Client: 0, Kind: check.Put, Key: 1, Val: 12, Invoke: 900, Return: 950},
+	)
+	h.Commits = append(h.Commits, check.Commit{Pos: 2, Key: 1, Val: 12})
+	h.FinalApplied = 3
+	h.Final = map[uint16]uint16{1: 12}
+	v := check.Verify(h, check.Options{})
+	if !containsSub(v.Violations, "read from the future") {
+		t.Fatalf("future read not detected: %+v", v)
+	}
+}
+
+func TestVerifyMonotoneRegressionIsNearMiss(t *testing.T) {
+	h := cleanHistory()
+	// The same client re-reads the older version after seeing the newer
+	// one — legal under sequential consistency, but scored.
+	h.Ops = append(h.Ops, check.Op{
+		Client: 1, Kind: check.Get, Mode: check.Freshest,
+		Key: 1, Val: 10, Found: true, Invoke: 800, Return: 800,
+	})
+	v := check.Verify(h, check.Options{})
+	if !v.OK() {
+		t.Fatalf("freshest-mode regression must not hard-fail: %v", v.Violations)
+	}
+	if !containsSub(v.NearMisses, "monotone-read regression") {
+		t.Fatalf("missing near-miss: %+v", v)
+	}
+}
+
+func TestVerifyWriteOrderInversion(t *testing.T) {
+	h := &check.History{
+		Ops: []check.Op{
+			{Client: 0, Kind: check.Put, Key: 1, Val: 10, Invoke: 100, Return: 200},
+			{Client: 0, Kind: check.Put, Key: 1, Val: 11, Invoke: 300, Return: 400},
+		},
+		// The stream commits the later write first.
+		Commits:      []check.Commit{{Pos: 0, Key: 1, Val: 11}, {Pos: 1, Key: 1, Val: 10}},
+		FinalApplied: 2,
+		Final:        map[uint16]uint16{1: 10},
+	}
+	v := check.Verify(h, check.Options{})
+	if !containsSub(v.Violations, "inverts real time") {
+		t.Fatalf("write-order inversion not detected: %+v", v)
+	}
+}
+
+func TestVerifyFinalStateDivergence(t *testing.T) {
+	h := cleanHistory()
+	h.Final = map[uint16]uint16{1: 10} // stream says 11
+	v := check.Verify(h, check.Options{})
+	if !containsSub(v.Violations, "final state diverges") {
+		t.Fatalf("final-state divergence not detected: %+v", v)
+	}
+}
+
+func TestVerifyNonLinearizableStrongReads(t *testing.T) {
+	h := &check.History{
+		Ops: []check.Op{
+			{Client: 0, Kind: check.Put, Key: 1, Val: 10, Invoke: 100, Return: 200},
+			{Client: 0, Kind: check.Put, Key: 1, Val: 11, Invoke: 300, Return: 400},
+			// Strictly after both writes completed, a strong read observes
+			// the first value after another strong read observed the second:
+			// no register order explains both.
+			{Client: 1, Kind: check.Get, Mode: check.Lease, Key: 1, Val: 11, Found: true, Invoke: 500, Return: 600},
+			{Client: 1, Kind: check.Get, Mode: check.Lease, Key: 1, Val: 10, Found: true, Invoke: 700, Return: 800},
+		},
+		Commits:      []check.Commit{{Pos: 0, Key: 1, Val: 10}, {Pos: 1, Key: 1, Val: 11}},
+		FinalApplied: 2,
+		Final:        map[uint16]uint16{1: 11},
+	}
+	v := check.Verify(h, check.Options{})
+	if !containsSub(v.Violations, "no linearization order") {
+		t.Fatalf("non-linearizable strong reads not detected: %+v", v)
+	}
+}
+
+func TestVerifyPendingOpsConstrainNothing(t *testing.T) {
+	h := cleanHistory()
+	// A Put still outstanding at the horizon may or may not take effect.
+	h.Ops = append(h.Ops, check.Op{
+		Client: 3, Kind: check.Put, Key: 1, Val: 42, Invoke: 900, Return: -1,
+	})
+	v := check.Verify(h, check.Options{})
+	if !v.OK() || len(v.NearMisses) != 0 {
+		t.Fatalf("pending op flagged: %+v", v)
+	}
+}
+
+func TestLeases(t *testing.T) {
+	good := []check.Grant{
+		{Epoch: 1, Holder: 0, AcquiredAt: 100, Expiry: 200, PrevExpiry: 0},
+		{Epoch: 2, Holder: 1, AcquiredAt: 250, Expiry: 350, PrevExpiry: 200},
+	}
+	if out := check.Leases(good, 0); len(out) != 0 {
+		t.Fatalf("clean grants flagged: %v", out)
+	}
+	// Overlap: the second grant opens before the first's expiry passed.
+	overlap := []check.Grant{
+		{Epoch: 1, Holder: 0, AcquiredAt: 100, Expiry: 300, PrevExpiry: 0},
+		{Epoch: 2, Holder: 1, AcquiredAt: 250, Expiry: 400, PrevExpiry: 300},
+	}
+	if out := check.Leases(overlap, 0); !containsSub(out, "leases overlap") {
+		t.Fatalf("overlap not detected: %v", out)
+	}
+	// eps > 0 tightens the window: a grant inside the skew bound fails.
+	tight := []check.Grant{
+		{Epoch: 1, Holder: 0, AcquiredAt: 100, Expiry: 200, PrevExpiry: 0},
+		{Epoch: 2, Holder: 1, AcquiredAt: 205, Expiry: 350, PrevExpiry: 200},
+	}
+	if out := check.Leases(tight, 0); len(out) != 0 {
+		t.Fatalf("eps 0 must accept a 5-tick margin: %v", out)
+	}
+	if out := check.Leases(tight, 10); !containsSub(out, "leases overlap") {
+		t.Fatalf("eps 10 must reject a 5-tick margin: %v", out)
+	}
+	// Epoch skips mean a lost acquisition record.
+	skip := []check.Grant{
+		{Epoch: 1, Holder: 0, AcquiredAt: 100, Expiry: 200, PrevExpiry: 0},
+		{Epoch: 3, Holder: 1, AcquiredAt: 250, Expiry: 350, PrevExpiry: 200},
+	}
+	if out := check.Leases(skip, 0); !containsSub(out, "want +1") {
+		t.Fatalf("epoch skip not detected: %v", out)
+	}
+}
+
+func TestVerifyFoldsExternalBreaches(t *testing.T) {
+	h := cleanHistory()
+	h.External = []string{"t=123: stale lease read"}
+	v := check.Verify(h, check.Options{})
+	if v.OK() || !containsSub(v.Violations, "stale lease read") {
+		t.Fatalf("external breach not folded in: %+v", v)
+	}
+}
+
+func TestCanonicalIsStableAndDiscriminating(t *testing.T) {
+	a := cleanHistory().Canonical()
+	b := cleanHistory().Canonical()
+	if !bytes.Equal(a, b) {
+		t.Fatal("canonical bytes differ across identical histories")
+	}
+	h := cleanHistory()
+	h.Ops[0].Val = 99
+	if bytes.Equal(a, h.Canonical()) {
+		t.Fatal("canonical bytes identical across differing histories")
+	}
+}
+
+// containsSub reports whether any string in xs contains sub.
+func containsSub(xs []string, sub string) bool {
+	for _, x := range xs {
+		if strings.Contains(x, sub) {
+			return true
+		}
+	}
+	return false
+}

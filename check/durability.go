@@ -1,0 +1,300 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// commitIndex is the per-history lookup the stream-based checks share:
+// known positions, per-key version sequences, and whether the known
+// prefix below FinalApplied is gap-free.
+type commitIndex struct {
+	known map[int]Commit
+	// byKey[k] is key k's committed version sequence in stream order.
+	byKey map[uint16][]Commit
+	// gaps counts positions in [0, FinalApplied) absent from Commits —
+	// positions every recording replica skipped via snapshot install.
+	gaps int
+	// maxPos is the highest known position, -1 when empty.
+	maxPos int
+}
+
+func indexCommits(h *History) *commitIndex {
+	ix := &commitIndex{
+		known:  make(map[int]Commit, len(h.Commits)),
+		byKey:  make(map[uint16][]Commit),
+		maxPos: -1,
+	}
+	for _, c := range h.Commits {
+		ix.known[c.Pos] = c
+		ix.byKey[c.Key] = append(ix.byKey[c.Key], c)
+		if c.Pos > ix.maxPos {
+			ix.maxPos = c.Pos
+		}
+	}
+	for p := 0; p < h.FinalApplied; p++ {
+		if _, ok := ix.known[p]; !ok {
+			ix.gaps++
+		}
+	}
+	return ix
+}
+
+// checkDurability verifies that no acknowledged write was lost: every
+// Put whose response the client saw must appear in the committed stream
+// (duplicates from cross-failover resubmission are fine — durability
+// needs at least one occurrence). When the stream has unknown gaps the
+// absence is unprovable and reported as a near-miss instead.
+func checkDurability(h *History, v *Verdict) {
+	ix := indexCommits(h)
+	for i, op := range h.Ops {
+		if op.Kind != Put || op.Return < 0 {
+			continue
+		}
+		found := false
+		for _, c := range ix.byKey[op.Key] {
+			if c.Val == op.Val {
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		if ix.gaps > 0 {
+			v.NearMisses = append(v.NearMisses, fmt.Sprintf(
+				"op %d: acknowledged Put(%d, %d) not in the known committed stream, but %d positions are unrecorded — durability unprovable",
+				i, op.Key, op.Val, ix.gaps))
+			continue
+		}
+		v.Violations = append(v.Violations, fmt.Sprintf(
+			"op %d: acknowledged Put(%d, %d) by client %d (returned t=%d) is absent from the committed stream — a committed write was lost",
+			i, op.Key, op.Val, op.Client, op.Return))
+	}
+}
+
+// checkFinalState replays the known committed prefix below FinalApplied
+// and compares it with the freshest replica's final applied state. With
+// a gap-free prefix the two must be identical — any divergence means a
+// replica applied something other than the committed stream (including
+// across checkpoint recycling, whose snapshot installs must be exact).
+func checkFinalState(h *History, v *Verdict) {
+	ix := indexCommits(h)
+	if h.Final == nil {
+		return
+	}
+	if ix.gaps > 0 {
+		v.NearMisses = append(v.NearMisses, fmt.Sprintf(
+			"final state unprovable: %d of the first %d committed positions are unrecorded",
+			ix.gaps, h.FinalApplied))
+		return
+	}
+	replayed := make(map[uint16]uint16)
+	for p := 0; p < h.FinalApplied; p++ {
+		c := ix.known[p]
+		replayed[c.Key] = c.Val
+	}
+	keys := make([]int, 0, len(replayed)+len(h.Final))
+	for k := range replayed {
+		keys = append(keys, int(k))
+	}
+	for k := range h.Final {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	prev := -1
+	for _, ki := range keys {
+		if ki == prev {
+			continue
+		}
+		prev = ki
+		k := uint16(ki)
+		rv, rok := replayed[k]
+		fv, fok := h.Final[k]
+		if rok != fok || rv != fv {
+			v.Violations = append(v.Violations, fmt.Sprintf(
+				"final state diverges from the committed stream at key %d: replay has (%d, present=%t), applied state has (%d, present=%t)",
+				k, rv, rok, fv, fok))
+		}
+	}
+}
+
+// checkWriteOrder verifies the write stream respects real time: if Put A
+// was acknowledged before Put B was invoked, A must precede B in the
+// committed stream. To stay immune to duplicate commits and repeated
+// (key, value) pairs, the check only constrains writes whose pair is
+// unique among Puts and appears exactly once in the stream — on such
+// pairs a real-time inversion is a proven linearizability violation of
+// the write path.
+func checkWriteOrder(h *History, v *Verdict) {
+	ix := indexCommits(h)
+	type ref struct {
+		op  int
+		pos int
+	}
+	pairOps := make(map[uint32][]int)
+	for i, op := range h.Ops {
+		if op.Kind == Put {
+			pairOps[uint32(op.Key)<<16|uint32(op.Val)] = append(pairOps[uint32(op.Key)<<16|uint32(op.Val)], i)
+		}
+	}
+	var anchored []ref
+	for i, op := range h.Ops {
+		if op.Kind != Put || op.Return < 0 {
+			continue
+		}
+		pair := uint32(op.Key)<<16 | uint32(op.Val)
+		if len(pairOps[pair]) != 1 {
+			continue
+		}
+		occ := -1
+		dup := false
+		for _, c := range ix.byKey[op.Key] {
+			if c.Val == op.Val {
+				if occ >= 0 {
+					dup = true
+					break
+				}
+				occ = c.Pos
+			}
+		}
+		if dup || occ < 0 {
+			continue
+		}
+		anchored = append(anchored, ref{op: i, pos: occ})
+	}
+	for _, a := range anchored {
+		for _, b := range anchored {
+			opA, opB := h.Ops[a.op], h.Ops[b.op]
+			if opA.Return < opB.Invoke && a.pos > b.pos {
+				v.Violations = append(v.Violations, fmt.Sprintf(
+					"write order inverts real time: Put(%d, %d) returned t=%d but committed at position %d, after Put(%d, %d) (invoked t=%d, position %d)",
+					opA.Key, opA.Val, opA.Return, a.pos, opB.Key, opB.Val, opB.Invoke, b.pos))
+			}
+		}
+	}
+}
+
+// checkReads analyzes completed Get operations. Freshest-mode reads are
+// sequentially consistent by contract, so the hard checks are phantom
+// detection (an observed value no committed write produced, or a value
+// whose only producing Put was invoked after the read returned) while
+// staleness-shaped anomalies — a missing key after an acknowledged Put,
+// per-client monotonicity regressions — are near-misses. Strong-mode
+// reads get the same phantom checks here and the full linearization
+// search in checkLinearizable.
+func checkReads(h *History, v *Verdict) {
+	ix := indexCommits(h)
+	// lastVer[client<<16|key] is the latest committed-stream position the
+	// client has provably observed for the key.
+	type ck struct {
+		client int
+		key    uint16
+	}
+	lastVer := make(map[ck]int)
+	for i, op := range h.Ops {
+		if op.Kind != Get || op.Return < 0 {
+			continue
+		}
+		versions := ix.byKey[op.Key]
+		if !op.Found {
+			if earliestAckedPut(h, op.Key, op.Invoke) {
+				v.NearMisses = append(v.NearMisses, fmt.Sprintf(
+					"op %d: client %d read key %d as absent after an acknowledged Put completed — stale by a whole key",
+					i, op.Client, op.Key))
+			}
+			continue
+		}
+		// Phantom: the observed value must have been committed for this
+		// key, and its producing Put must have been invoked by then.
+		matchPos := -1
+		for _, c := range versions {
+			if c.Val == op.Val {
+				matchPos = c.Pos
+				break
+			}
+		}
+		if matchPos < 0 {
+			if ix.gaps > 0 && putExists(h, op.Key, op.Val) {
+				v.NearMisses = append(v.NearMisses, fmt.Sprintf(
+					"op %d: client %d read (%d, %d) which no recorded commit produced, but %d positions are unrecorded",
+					i, op.Client, op.Key, op.Val, ix.gaps))
+			} else {
+				v.Violations = append(v.Violations, fmt.Sprintf(
+					"op %d: client %d read phantom value (%d, %d): no committed write ever produced it",
+					i, op.Client, op.Key, op.Val))
+			}
+			continue
+		}
+		if onlyFuturePuts(h, op) {
+			v.Violations = append(v.Violations, fmt.Sprintf(
+				"op %d: client %d read (%d, %d) before any Put of that pair was invoked — a read from the future",
+				i, op.Client, op.Key, op.Val))
+		}
+		// Per-client monotonicity along the key's version sequence. A
+		// freshest-mode regression is legal (the freshest replica can
+		// change across a crash) but scored; strong modes never regress —
+		// their linearizability is checked by the search, so here the
+		// regression is reported at near-miss strength for both tiers to
+		// keep this pass purely order-based.
+		key := ck{client: op.Client, key: op.Key}
+		if prevPos, ok := lastVer[key]; ok {
+			// The op's observed version: the latest occurrence of the value
+			// at or after the previously observed one, else the latest at
+			// all (the value regressed).
+			pos := -1
+			for _, c := range versions {
+				if c.Val == op.Val && c.Pos >= prevPos {
+					pos = c.Pos
+					break
+				}
+			}
+			if pos < 0 {
+				v.NearMisses = append(v.NearMisses, fmt.Sprintf(
+					"op %d: client %d re-read key %d at an older version (value %d precedes position %d) — monotone-read regression",
+					i, op.Client, op.Key, op.Val, prevPos))
+				pos = matchPos
+			}
+			lastVer[key] = pos
+		} else {
+			lastVer[key] = matchPos
+		}
+	}
+}
+
+// earliestAckedPut reports whether some Put of key was acknowledged
+// before t.
+func earliestAckedPut(h *History, key uint16, t int64) bool {
+	for _, op := range h.Ops {
+		if op.Kind == Put && op.Key == key && op.Return >= 0 && op.Return < t {
+			return true
+		}
+	}
+	return false
+}
+
+// putExists reports whether any Put op wrote (key, val).
+func putExists(h *History, key, val uint16) bool {
+	for _, op := range h.Ops {
+		if op.Kind == Put && op.Key == key && op.Val == val {
+			return true
+		}
+	}
+	return false
+}
+
+// onlyFuturePuts reports whether every Put producing the read's observed
+// pair was invoked after the read returned (so the read cannot have
+// observed any of them).
+func onlyFuturePuts(h *History, read Op) bool {
+	any := false
+	for _, op := range h.Ops {
+		if op.Kind == Put && op.Key == read.Key && op.Val == read.Val {
+			any = true
+			if op.Invoke <= read.Return {
+				return false
+			}
+		}
+	}
+	return any
+}

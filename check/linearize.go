@@ -1,0 +1,161 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// absent is the register-state sentinel for "key never written".
+const absent = uint32(1) << 16
+
+// maxSearchOps bounds the per-key operation count of the linearization
+// search (the done-set is a 64-bit mask); larger keys are undecided.
+const maxSearchOps = 64
+
+// checkLinearizable runs the per-key linearization search over the
+// operations that claim linearizability: every Put plus every
+// lease/quorum-mode Get. Each key is an independent register (the store
+// has no cross-key transactions), so the search partitions by key — the
+// standard Wing & Gong decomposition — and explores linearization
+// orders with memoized (done-set, register-state) pairs. A key with no
+// witness order is a proven violation; a search that exceeds
+// Options.MaxStates is reported as undecided, never silently passed.
+func checkLinearizable(h *History, opt Options, v *Verdict) {
+	maxStates := opt.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	perKey := make(map[uint16][]Op)
+	for _, op := range h.Ops {
+		switch {
+		case op.Kind == Put:
+			perKey[op.Key] = append(perKey[op.Key], op)
+		case op.Kind == Get && (op.Mode == Lease || op.Mode == Quorum):
+			if op.Return >= 0 {
+				perKey[op.Key] = append(perKey[op.Key], op)
+			}
+		}
+	}
+	keys := make([]int, 0, len(perKey))
+	for k := range perKey {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	for _, ki := range keys {
+		k := uint16(ki)
+		ops := perKey[k]
+		strongReads := 0
+		for _, op := range ops {
+			if op.Kind == Get {
+				strongReads++
+			}
+		}
+		if strongReads == 0 {
+			// A write-only history always has a witness (the real-time
+			// partial order is acyclic); its agreement with the committed
+			// stream is checkWriteOrder's job.
+			continue
+		}
+		switch linearizeKey(ops, maxStates) {
+		case searchOK:
+		case searchFail:
+			v.Violations = append(v.Violations, fmt.Sprintf(
+				"key %d: no linearization order exists for its %d Puts and %d strong reads",
+				k, len(ops)-strongReads, strongReads))
+		case searchCapped:
+			v.Undecided = append(v.Undecided, fmt.Sprintf(
+				"key %d: linearization search exceeded %d states", k, maxStates))
+		}
+	}
+}
+
+// searchResult is the three-valued outcome of one key's search.
+type searchResult int
+
+const (
+	searchOK searchResult = iota
+	searchFail
+	searchCapped
+)
+
+// memoKey identifies one search state: which operations have been
+// linearized and what the register then holds.
+type memoKey struct {
+	done uint64
+	val  uint32
+}
+
+// linearizeKey searches for a linearization of one key's operations: a
+// total order that respects real time (an operation may only be
+// linearized while no earlier-returned operation is still pending) and
+// register semantics (a read observes exactly the latest linearized
+// write). Pending Puts (Return < 0) may take effect at any point or
+// never; completed operations must all be placed.
+func linearizeKey(ops []Op, maxStates int) searchResult {
+	if len(ops) > maxSearchOps {
+		return searchCapped
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+	completedMask := uint64(0)
+	for i, op := range ops {
+		if op.Return >= 0 {
+			completedMask |= 1 << uint(i)
+		}
+	}
+	visited := make(map[memoKey]bool)
+	capped := false
+	var dfs func(done uint64, val uint32) bool
+	dfs = func(done uint64, val uint32) bool {
+		if done&completedMask == completedMask {
+			return true
+		}
+		key := memoKey{done: done, val: val}
+		if visited[key] {
+			return false
+		}
+		if len(visited) >= maxStates {
+			capped = true
+			return false
+		}
+		visited[key] = true
+		// frontier: the earliest return time of any undone completed op.
+		// Only operations invoked at or before it may linearize next.
+		frontier := int64(-1)
+		for i, op := range ops {
+			if done&(1<<uint(i)) != 0 || op.Return < 0 {
+				continue
+			}
+			if frontier < 0 || op.Return < frontier {
+				frontier = op.Return
+			}
+		}
+		for i, op := range ops {
+			if done&(1<<uint(i)) != 0 {
+				continue
+			}
+			if frontier >= 0 && op.Invoke > frontier {
+				break // ops are invoke-sorted; nothing later is eligible
+			}
+			switch op.Kind {
+			case Put:
+				if dfs(done|1<<uint(i), uint32(op.Val)) {
+					return true
+				}
+			case Get:
+				consistent := (op.Found && val != absent && uint16(val) == op.Val) ||
+					(!op.Found && val == absent)
+				if consistent && dfs(done|1<<uint(i), val) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if dfs(0, absent) {
+		return searchOK
+	}
+	if capped {
+		return searchCapped
+	}
+	return searchFail
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"omegasm"
+)
+
+// campaignOpts carries the -campaign mode's flag values.
+type campaignOpts struct {
+	seeds     int
+	seedBase  int64
+	out       string
+	mutate    string
+	expect    string
+	scenarios string
+	keep      int
+}
+
+// parseCampaignMutation maps the -campmutate flag to a SimMutation.
+func parseCampaignMutation(s string) (omegasm.SimMutation, error) {
+	switch s {
+	case "", "none":
+		return omegasm.MutNone, nil
+	case "drop-quorum-ack":
+		return omegasm.MutDropQuorumAck, nil
+	case "premature-lease-extend":
+		return omegasm.MutPrematureLeaseExtend, nil
+	}
+	return omegasm.MutNone, fmt.Errorf("unknown mutation %q (want none, drop-quorum-ack or premature-lease-extend)", s)
+}
+
+// runCampaignCmd executes the adversarial scenario campaign: a seed
+// sweep over the stock (or mutated) grid, a scored report on stdout and
+// optionally as JSON, an expectation gate for CI, and optionally a
+// refresh of the committed scenario fixtures.
+func runCampaignCmd(o campaignOpts) int {
+	mut, err := parseCampaignMutation(o.mutate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+		return 1
+	}
+	cfg := omegasm.CampaignConfig{Seeds: o.seeds, SeedBase: o.seedBase, Keep: o.keep, Mutation: mut}
+	rep, err := omegasm.RunCampaign(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("campaign: %d runs over %d grid points, seeds %d..%d\n",
+		rep.Runs, len(rep.Points), rep.SeedBase, rep.SeedBase+int64(rep.Seeds)-1)
+	fmt.Printf("  violation runs: %d   near-miss runs: %d\n", rep.ViolationRuns, rep.NearMissRuns)
+	fmt.Printf("  worst runs:\n")
+	for _, w := range rep.Worst {
+		fmt.Printf("    %-20s seed=%-6d score=%-8d viol=%d near=%d churn=%d stall=%d",
+			w.Point, w.Seed, w.Score, w.Violations, w.NearMisses, w.LeaderChanges, w.CommitStallMax)
+		if w.FirstViolation != "" {
+			fmt.Printf("  %s", w.FirstViolation)
+		}
+		fmt.Println()
+	}
+	if o.out != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(o.out, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("report written to %s\n", o.out)
+	}
+	if o.scenarios != "" {
+		scs, err := omegasm.BuildWorstScenarios(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+			return 1
+		}
+		if err := os.MkdirAll(o.scenarios, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+			return 1
+		}
+		for _, sc := range scs {
+			raw, err := json.MarshalIndent(sc, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+				return 1
+			}
+			path := filepath.Join(o.scenarios, sc.Name+".json")
+			if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "omegabench: %v\n", err)
+				return 1
+			}
+			fmt.Printf("scenario %s (seed %d, churn %d) written to %s\n",
+				sc.Name, sc.Config.Seed, sc.Expect.LeaderChanges, path)
+		}
+	}
+	switch o.expect {
+	case "", "none":
+	case "clean":
+		if rep.ViolationRuns > 0 {
+			fmt.Fprintf(os.Stderr, "omegabench: expected a clean campaign, got %d violation runs\n", rep.ViolationRuns)
+			return 1
+		}
+		fmt.Println("expectation met: campaign is clean")
+	case "violations":
+		if rep.ViolationRuns == 0 {
+			fmt.Fprintf(os.Stderr, "omegabench: expected violations (mutation %q seeded), got none — the checker is vacuous\n", o.mutate)
+			return 1
+		}
+		fmt.Printf("expectation met: mutation %q detected in %d/%d runs\n", o.mutate, rep.ViolationRuns, rep.Runs)
+	default:
+		fmt.Fprintf(os.Stderr, "omegabench: unknown -campexpect %q (want none, clean or violations)\n", o.expect)
+		return 1
+	}
+	return 0
+}

@@ -8,6 +8,8 @@
 //	omegabench -bench [-benchdir DIR] [-benchdur D]
 //	omegabench -load [-benchdir DIR] [-loaddur D]
 //	omegabench -benchmd FILE [-benchdir DIR]
+//	omegabench -campaign [-campseeds N] [-campseedbase S] [-campmutate M]
+//	           [-campexpect E] [-campout FILE] [-campscenarios DIR]
 //
 // Any mode accepts -cpuprofile FILE and -memprofile FILE, which write
 // pprof profiles covering the whole run — the reproducible way to find
@@ -36,6 +38,17 @@
 // markdown file (the README) from the BENCH_*.json files in -benchdir,
 // between the benchmark markers, so published numbers never drift from
 // recorded ones.
+//
+// With -campaign it runs the adversarial scenario campaign instead: a
+// seed sweep over a grid of fault configurations (crashes, gray
+// election registers, brownouts, open-loop load), every run recorded
+// and fed through the omegasm/check linearizability/durability checker,
+// scored (violations over near-misses over leader churn and commit
+// stalls) and summarized worst-first. -campmutate seeds a known bug to
+// prove the checker catches it (-campexpect violations gates CI on
+// that); -campexpect clean gates nightly sweeps; -campscenarios
+// regenerates the minimized regression fixtures under
+// testdata/scenarios.
 package main
 
 import (
@@ -73,6 +86,14 @@ func run() int {
 	benchmd := flag.String("benchmd", "", "markdown file whose benchmark section is regenerated from -benchdir's BENCH_*.json files")
 	loadBench := flag.Bool("load", false, "run the latency-under-load benchmark (sim + live) and emit BENCH_latency_under_load.json")
 	loaddur := flag.Duration("loaddur", 2*time.Second, "arrival window of the -load workload")
+	campaign := flag.Bool("campaign", false, "run the adversarial scenario campaign (seed sweep + checker) instead of the experiments")
+	campseeds := flag.Int("campseeds", 50, "with -campaign: seeds per grid point")
+	campseedbase := flag.Int64("campseedbase", 0, "with -campaign: first seed of the sweep (nightlies rotate this)")
+	campout := flag.String("campout", "", "with -campaign: write the JSON report to this file")
+	campmutate := flag.String("campmutate", "", "with -campaign: seed a bug (drop-quorum-ack, premature-lease-extend) to prove checker non-vacuity")
+	campexpect := flag.String("campexpect", "", "with -campaign: gate the exit status (clean: no violations allowed; violations: at least one required)")
+	campscenarios := flag.String("campscenarios", "", "with -campaign: regenerate minimized scenario fixtures into this directory")
+	campkeep := flag.Int("campkeep", 10, "with -campaign: worst runs kept in the report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -112,6 +133,17 @@ func run() int {
 		}
 		fmt.Printf("updated benchmark section of %s\n", *benchmd)
 		return 0
+	}
+	if *campaign {
+		return runCampaignCmd(campaignOpts{
+			seeds:     *campseeds,
+			seedBase:  *campseedbase,
+			out:       *campout,
+			mutate:    *campmutate,
+			expect:    *campexpect,
+			scenarios: *campscenarios,
+			keep:      *campkeep,
+		})
 	}
 	if *loadBench {
 		return runLoad(*benchdir, *loaddur)

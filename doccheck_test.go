@@ -14,16 +14,17 @@ import (
 // exported identifier — functions, types, methods, consts, vars, struct
 // fields and interface methods — must carry a doc comment, so `go doc`
 // reads as a complete reference. It covers the public package omegasm
-// plus the public load-harness package and the internal packages other
-// layers program against (internal/consensus, internal/engine). It is
-// the dependency-free equivalent of `revive -rule exported`.
+// plus the public load-harness and history-checker packages and the
+// internal packages other layers program against (internal/consensus,
+// internal/engine). It is the dependency-free equivalent of
+// `revive -rule exported`.
 func TestExportedSymbolsAreDocumented(t *testing.T) {
 	fset := token.NewFileSet()
 	var missing []string
 	report := func(pos token.Pos, what string) {
 		missing = append(missing, fmt.Sprintf("%s: %s", fset.Position(pos), what))
 	}
-	for _, dir := range []string{".", "load", "internal/consensus", "internal/engine"} {
+	for _, dir := range []string{".", "load", "check", "internal/consensus", "internal/engine"} {
 		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
 			return !strings.HasSuffix(fi.Name(), "_test.go")
 		}, parser.ParseComments)

@@ -1,0 +1,114 @@
+package omegasm
+
+import "fmt"
+
+// SimMutation selects a deliberately seeded correctness bug for a
+// simulated run. Mutations exist to prove the checker is not vacuous:
+// a campaign over a mutated stack must report violations, and the CI
+// smoke asserts exactly that. MutNone (the zero value) runs the real
+// stack.
+type SimMutation int
+
+// The seeded mutations.
+const (
+	// MutNone runs the unmutated stack.
+	MutNone SimMutation = iota
+	// MutDropQuorumAck acknowledges workload writes at submission instead
+	// of at commit confirmation — the classic dropped-quorum-ack bug. A
+	// leader crash between the ack and the commit loses an acknowledged
+	// write, which the durability check must flag.
+	MutDropQuorumAck
+	// MutPrematureLeaseExtend lets a replica acquire the lease while the
+	// previous grant is still valid (the acquire guard runs with a
+	// negative skew bound) — the premature-extend bug. After a holder
+	// crash the successor's window overlaps the crashed holder's, which
+	// the lease no-overlap check must flag.
+	MutPrematureLeaseExtend
+)
+
+// valid reports whether m names a known mutation.
+func (m SimMutation) valid() bool {
+	return m >= MutNone && m <= MutPrematureLeaseExtend
+}
+
+// SimFaults configures the gray-failure fault models of a simulated run.
+// All faults are injected deterministically from the run's seeded
+// adversary, so a faulted run replays byte-identically like any other.
+// The register faults apply to the election classes only: the consensus
+// registers stay atomic, so a checker violation under faults is a real
+// algorithm weakness, not a broken Paxos substrate. The zero value
+// injects nothing.
+type SimFaults struct {
+	// StaleReadP is the per-read probability that an election-register
+	// read landing within StaleWindow ticks of the register's last write
+	// observes the overwritten value — the register degrades from atomic
+	// to regular, which the paper's algorithms are supposed to tolerate.
+	StaleReadP float64
+	// StaleWindow bounds the staleness in virtual ticks after a write.
+	StaleWindow int64
+	// PartialViewP is the per-read probability that a reader's view of an
+	// election register freezes for PartialViewLen ticks while writes
+	// keep landing underneath — partial census visibility.
+	PartialViewP float64
+	// PartialViewLen is the freeze duration in virtual ticks.
+	PartialViewLen int64
+	// TimerSkewMax, when positive, skews each process's timer unit by a
+	// per-process deterministic draw in [0, TimerSkewMax] extra ticks per
+	// timeout unit — processes disagree about how long a timeout is.
+	TimerSkewMax int
+	// BrownoutFrom and BrownoutTo bound a cluster-wide slow spell:
+	// every machine's inter-step delays are multiplied by BrownoutFactor
+	// inside [BrownoutFrom, BrownoutTo). The window is finite, so AWB1's
+	// eventual bound still holds after it closes.
+	BrownoutFrom, BrownoutTo int64
+	// BrownoutFactor is the delay multiplier inside the brownout window;
+	// values below 2 disable the brownout.
+	BrownoutFactor int64
+}
+
+// active reports whether any fault is configured.
+func (f *SimFaults) active() bool {
+	if f == nil {
+		return false
+	}
+	return f.StaleReadP > 0 || f.PartialViewP > 0 || f.TimerSkewMax > 0 || f.brownout()
+}
+
+// registerFaults reports whether the election-register injector is needed.
+func (f *SimFaults) registerFaults() bool {
+	return f != nil && (f.StaleReadP > 0 || f.PartialViewP > 0)
+}
+
+// brownout reports whether a brownout window is configured.
+func (f *SimFaults) brownout() bool {
+	return f != nil && f.BrownoutFactor > 1 && f.BrownoutTo > f.BrownoutFrom
+}
+
+// validate rejects nonsensical fault parameters.
+func (f *SimFaults) validate() error {
+	if f == nil {
+		return nil
+	}
+	if f.StaleReadP < 0 || f.StaleReadP > 1 {
+		return fmt.Errorf("omegasm: stale-read probability %v outside [0, 1]", f.StaleReadP)
+	}
+	if f.StaleReadP > 0 && f.StaleWindow <= 0 {
+		return fmt.Errorf("omegasm: stale reads need a positive window, got %d", f.StaleWindow)
+	}
+	if f.PartialViewP < 0 || f.PartialViewP > 1 {
+		return fmt.Errorf("omegasm: partial-view probability %v outside [0, 1]", f.PartialViewP)
+	}
+	if f.PartialViewP > 0 && f.PartialViewLen <= 0 {
+		return fmt.Errorf("omegasm: partial views need a positive length, got %d", f.PartialViewLen)
+	}
+	if f.TimerSkewMax < 0 {
+		return fmt.Errorf("omegasm: timer skew %d is negative", f.TimerSkewMax)
+	}
+	if f.BrownoutFactor > 1 && f.BrownoutTo <= f.BrownoutFrom {
+		return fmt.Errorf("omegasm: brownout window [%d, %d) is empty", f.BrownoutFrom, f.BrownoutTo)
+	}
+	if f.BrownoutFrom < 0 {
+		return fmt.Errorf("omegasm: brownout start %d is negative", f.BrownoutFrom)
+	}
+	return nil
+}

@@ -62,6 +62,12 @@ type KV struct {
 	// keyCount mirrors len(keys) for the lock-free Len.
 	keyCount atomic.Int64
 
+	// applyObs, when set, observes every individually applied command at
+	// its global position (snapshot installs bypass it — they jump the
+	// application point without per-command applies). Written before
+	// stepping begins, called under mu.
+	applyObs func(pos int, cmd uint32)
+
 	// submitMu guards the staging buffer writers append to; StepBurst
 	// drains it into the replica's queue under mu. Lock order: mu before
 	// submitMu when both are held. Two buffers swap roles at each drain,
@@ -149,11 +155,28 @@ func (kv *KV) applyCommittedLocked() {
 	base := kv.replica.committedBase
 	a := int(kv.applied.Load())
 	for a < base+len(kv.replica.committed) {
-		key, val := DecodeSet(kv.replica.committed[a-base])
+		cmd := kv.replica.committed[a-base]
+		key, val := DecodeSet(cmd)
 		kv.setLocked(key, val)
+		if kv.applyObs != nil {
+			kv.applyObs(a, cmd)
+		}
 		a++
 		kv.applied.Store(int64(a))
 	}
+}
+
+// SetApplyObserver installs a hook observing every command this replica
+// individually applies, with its global position in the committed stream.
+// Because commit and apply happen within the same step burst, the hook
+// sees each position the moment the replica learns it; positions skipped
+// by a snapshot install are not replayed through the hook. Used by the
+// scenario recorder to reconstruct the committed stream; must be set
+// before stepping begins and must not call back into the KV.
+func (kv *KV) SetApplyObserver(f func(pos int, cmd uint32)) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.applyObs = f
 }
 
 // Set queues a write for replication. It is applied once committed. On a

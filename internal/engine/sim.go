@@ -157,15 +157,24 @@ func (s *Sim) Rng() *rand.Rand { return s.rng }
 func (s *Sim) Stop() { s.stopped = true }
 
 // Crashed reports whether machine id has been collected by its crash
-// schedule.
-func (s *Sim) Crashed(id int) bool { return s.slots[id].crashed }
+// schedule, or is due: a parked machine past its crash time is dead even
+// though no event has collected it yet.
+func (s *Sim) Crashed(id int) bool {
+	sl := s.slots[id]
+	return sl.crashed || (sl.crashAt >= 0 && s.now >= sl.crashAt)
+}
 
-// CrashTime returns machine id's crash time, or -1 if it has not crashed.
+// CrashTime returns machine id's crash time, or -1 if it has not crashed
+// (a due-but-uncollected machine reports its scheduled crash time).
 func (s *Sim) CrashTime(id int) vclock.Time {
-	if !s.slots[id].crashed {
-		return -1
+	sl := s.slots[id]
+	if sl.crashed {
+		return sl.crashTime
 	}
-	return s.slots[id].crashTime
+	if sl.crashAt >= 0 && s.now >= sl.crashAt {
+		return sl.crashAt
+	}
+	return -1
 }
 
 // Steps returns how many Step calls machine id has executed.
@@ -176,9 +185,21 @@ func (s *Sim) TimerFirings(id int) uint64 { return s.slots[id].firings }
 
 // Notify wakes machine id at the next tick, superseding any later pending
 // step. Deterministic: it may only be called from machine bodies running
-// inside Run (or before Run).
+// inside Run (or before Run). Notifying a crashed machine is a strict
+// no-op — including a parked machine whose crash time has passed but that
+// no event has collected yet: such a machine is dead, so the notify
+// collects it instead of waking it, and neither bumps its generation nor
+// consumes an event sequence number (which would perturb same-time
+// tie-breaks elsewhere in the run).
 func (s *Sim) Notify(id int) {
 	sl := s.slots[id]
+	if sl.crashAt >= 0 && s.now+1 >= sl.crashAt {
+		if !sl.crashed {
+			sl.crashed = true
+			sl.crashTime = sl.crashAt
+		}
+		return
+	}
 	if sl.crashed {
 		return
 	}

@@ -127,6 +127,102 @@ func TestSimNotifyWakesParked(t *testing.T) {
 	}
 }
 
+func TestSimNotifyAfterCrashIsNoOp(t *testing.T) {
+	s, err := NewSim(SimConfig{Seed: 1, Horizon: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A machine that parks immediately: after its crash time passes, no
+	// event is left to collect it — it is dead but uncollected.
+	parked := &simRecorder{}
+	parked.hint = func(vclock.Time) Hint { return Park() }
+	parkedID := s.Add(parked, WithFirstWakeAt(1), WithCrashAt(200))
+	// A poker notifies it at t=500, well after the crash time.
+	poker := &simRecorder{}
+	poker.hint = func(now vclock.Time) Hint {
+		s.Notify(parkedID)
+		return Park()
+	}
+	s.Add(poker, WithFirstWakeAt(500))
+	s.Run()
+	if len(parked.stepTimes) != 1 {
+		t.Fatalf("dead machine stepped %d times, want 1 (notify after crash must be a no-op)",
+			len(parked.stepTimes))
+	}
+	if !s.Crashed(parkedID) {
+		t.Fatal("dead-but-parked machine not reported crashed")
+	}
+	if got := s.CrashTime(parkedID); got != 200 {
+		t.Fatalf("CrashTime = %d, want 200", got)
+	}
+}
+
+func TestSimCrashedReportsDueParkedMachine(t *testing.T) {
+	s, err := NewSim(SimConfig{Seed: 1, Horizon: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := &simRecorder{}
+	parked.hint = func(vclock.Time) Hint { return Park() }
+	parkedID := s.Add(parked, WithFirstWakeAt(1), WithCrashAt(200))
+	var during, timeAt []bool
+	probe := &simRecorder{}
+	probe.hint = func(now vclock.Time) Hint {
+		during = append(during, s.Crashed(parkedID))
+		timeAt = append(timeAt, s.CrashTime(parkedID) == 200)
+		return Park()
+	}
+	s.Add(probe, WithFirstWakeAt(100))
+	probe2 := &simRecorder{}
+	probe2.hint = func(now vclock.Time) Hint {
+		during = append(during, s.Crashed(parkedID))
+		timeAt = append(timeAt, s.CrashTime(parkedID) == 200)
+		return Park()
+	}
+	s.Add(probe2, WithFirstWakeAt(900))
+	s.Run()
+	if len(during) != 2 {
+		t.Fatalf("probes ran %d times, want 2", len(during))
+	}
+	if during[0] {
+		t.Error("machine reported crashed before its crash time")
+	}
+	if !during[1] || !timeAt[1] {
+		t.Error("parked machine past its crash time must report crashed with its scheduled time")
+	}
+}
+
+func TestSimNotifyAfterCrashPreservesTieBreaks(t *testing.T) {
+	// A spurious gen-bump/event from notifying a dead machine would
+	// consume a sequence number and perturb same-time tie-breaks. Run the
+	// same live machines with and without a dead bystander being notified;
+	// the live schedule must be identical.
+	run := func(withDead bool) []vclock.Time {
+		s, err := NewSim(SimConfig{Seed: 7, Horizon: 5_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead := &simRecorder{}
+		dead.hint = func(vclock.Time) Hint { return Park() }
+		deadID := s.Add(dead, WithFirstWakeAt(1), WithCrashAt(100))
+		live := &simRecorder{next: 1}
+		s.Add(live, WithTimer(vclock.Exact{Scale: 4, Floor: 1}, 1))
+		poker := &simRecorder{}
+		poker.hint = func(now vclock.Time) Hint {
+			if withDead {
+				s.Notify(deadID)
+			}
+			return At(now + 50)
+		}
+		s.Add(poker, WithFirstWakeAt(200))
+		s.Run()
+		return live.stepTimes
+	}
+	if !reflect.DeepEqual(run(false), run(true)) {
+		t.Fatal("notifying a dead machine perturbed the live schedule")
+	}
+}
+
 func TestSimStopEndsRun(t *testing.T) {
 	s, err := NewSim(SimConfig{Seed: 1, Horizon: 1 << 40})
 	if err != nil {

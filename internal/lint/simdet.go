@@ -37,6 +37,7 @@ var simdetPackages = []string{
 	"internal/sched",
 	"internal/core",
 	"omegasm/load",
+	"omegasm/check",
 }
 
 // simdetFiles lists file-path suffixes that are sim-reachable (or must
@@ -45,6 +46,10 @@ var simdetPackages = []string{
 var simdetFiles = []string{
 	"sim.go",
 	"omegabench/readme.go",
+	"campaign.go",
+	"faults.go",
+	"shmem/fault.go",
+	"san/gray.go",
 }
 
 // forbiddenTimeFuncs are the time package functions that read or

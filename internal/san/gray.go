@@ -1,0 +1,49 @@
+package san
+
+// GrayFault is a disk's gray-failure model: the disk stays up and
+// answers, but some answers are wrong in the ways real deteriorating
+// storage is wrong — acknowledged writes that never hit the medium,
+// reads served from a stale snapshot, and a latency tax on every
+// operation. Gray faults are strictly weaker than the regular-register
+// guarantee the healthy SAN quorum discipline provides: a gray disk can
+// silently lose an acknowledged write, which is exactly the anomaly the
+// scenario campaigns feed to the checker. Keep gray disks below a
+// quorum if the run is supposed to stay correct.
+type GrayFault struct {
+	// StaleAckP is the probability that WriteBlock acknowledges without
+	// persisting anything (an intermittent stale ack).
+	StaleAckP float64
+	// StaleReadP is the probability that ReadBlock serves the block's
+	// previous (seq, value) instead of the current one.
+	StaleReadP float64
+	// Slow is extra latency drawn on top of the disk's base model for
+	// every operation (a slow, not-yet-failed disk).
+	Slow Latency
+}
+
+// SetGray installs (or replaces) the disk's gray-failure model. Safe to
+// call concurrently with operations; typically set once at rig time.
+func (d *Disk) SetGray(g GrayFault) {
+	d.rngMu.Lock()
+	d.gray = g
+	d.grayOn = true
+	d.rngMu.Unlock()
+}
+
+// grayDropWrite reports whether this write should be acknowledged
+// without persisting.
+func (d *Disk) grayDropWrite() bool {
+	d.rngMu.Lock()
+	hit := d.grayOn && d.gray.StaleAckP > 0 && d.rng.Float64() < d.gray.StaleAckP
+	d.rngMu.Unlock()
+	return hit
+}
+
+// grayStaleRead reports whether this read should serve the previous
+// block version.
+func (d *Disk) grayStaleRead() bool {
+	d.rngMu.Lock()
+	hit := d.grayOn && d.gray.StaleReadP > 0 && d.rng.Float64() < d.gray.StaleReadP
+	d.rngMu.Unlock()
+	return hit
+}

@@ -1,0 +1,71 @@
+package san
+
+import "testing"
+
+func TestGrayStaleAckDropsWrites(t *testing.T) {
+	d := NewDisk(Latency{}, 1)
+	d.SetGray(GrayFault{StaleAckP: 1.0})
+	if err := d.WriteBlock("B", 1, 42); err != nil {
+		t.Fatalf("gray write must still ack: %v", err)
+	}
+	seq, val, err := d.ReadBlock("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 0 || val != 0 {
+		t.Fatalf("dropped write persisted anyway: seq=%d val=%d", seq, val)
+	}
+}
+
+func TestGrayStaleReadServesPrevious(t *testing.T) {
+	d := NewDisk(Latency{}, 1)
+	if err := d.WriteBlock("B", 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteBlock("B", 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	d.SetGray(GrayFault{StaleReadP: 1.0})
+	seq, val, err := d.ReadBlock("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || val != 10 {
+		t.Fatalf("stale read = (seq %d, val %d), want previous (1, 10)", seq, val)
+	}
+	// A block with no predecessor has nothing stale to serve.
+	if err := d.WriteBlock("C", 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	// The gray write path may drop; StaleAckP is zero here so it persisted.
+	seq, val, err = d.ReadBlock("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || val != 7 {
+		t.Fatalf("first-version read = (seq %d, val %d), want (1, 7)", seq, val)
+	}
+}
+
+func TestGrayMinorityIsMaskedByQuorum(t *testing.T) {
+	// One gray disk out of three: the quorum discipline must still serve
+	// exact values (highest sequence wins across a majority).
+	disks := []*Disk{NewDisk(Latency{}, 1), NewDisk(Latency{}, 2), NewDisk(Latency{}, 3)}
+	disks[0].SetGray(GrayFault{StaleAckP: 1.0, StaleReadP: 1.0})
+	defer func() {
+		for _, d := range disks {
+			d.Close()
+		}
+	}()
+	m, err := NewDiskMem(2, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Word(0, "HB", 0)
+	for v := uint64(1); v <= 20; v++ {
+		r.Write(0, v)
+		if got := r.Read(1); got != v {
+			t.Fatalf("quorum read = %d, want %d despite one gray disk", got, v)
+		}
+	}
+}

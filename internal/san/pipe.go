@@ -192,15 +192,26 @@ func (d *Disk) runOp(op *pipeOp) {
 	switch op.kind {
 	case opRead:
 		b := d.blocks[op.name]
-		op.rseq, op.rval = b.seq, b.val
+		if b.hasPrev && d.grayStaleRead() {
+			op.rseq, op.rval = b.prevSeq, b.prevVal
+		} else {
+			op.rseq, op.rval = b.seq, b.val
+		}
 	case opGather:
 		for i, name := range op.names {
 			b := d.blocks[name]
-			op.seqs[i], op.vals[i] = b.seq, b.val
+			if b.hasPrev && d.grayStaleRead() {
+				op.seqs[i], op.vals[i] = b.prevSeq, b.prevVal
+			} else {
+				op.seqs[i], op.vals[i] = b.seq, b.val
+			}
 		}
 	case opWrite:
+		if d.grayDropWrite() {
+			return // gray fault: acknowledged but never persisted
+		}
 		if b, ok := d.blocks[op.name]; !ok || op.seq > b.seq {
-			d.blocks[op.name] = block{seq: op.seq, val: op.val}
+			d.blocks[op.name] = block{seq: op.seq, val: op.val, prevSeq: b.seq, prevVal: b.val, hasPrev: ok}
 		}
 	}
 }

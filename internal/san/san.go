@@ -74,6 +74,11 @@ type Disk struct {
 	rng     *rand.Rand
 	rngMu   sync.Mutex
 
+	// Gray-failure model (gray.go); guarded by rngMu with the rng it draws
+	// from. grayOn distinguishes "no model" from a zero-valued one.
+	gray   GrayFault
+	grayOn bool
+
 	// Pipelined access path (see pipe.go): a lazily started pump
 	// goroutine serving a bounded FIFO request window. pipeMu orders
 	// submissions against Close; ReadBlock/WriteBlock bypass the pipe.
@@ -86,6 +91,11 @@ type Disk struct {
 type block struct {
 	seq uint64
 	val uint64
+	// The previous version, kept so a gray disk can serve stale reads;
+	// hasPrev distinguishes a real predecessor from the zero block.
+	prevSeq uint64
+	prevVal uint64
+	hasPrev bool
 }
 
 // NewDisk creates a disk with the given latency model and seed.
@@ -97,10 +107,14 @@ func NewDisk(lat Latency, seed int64) *Disk {
 	}
 }
 
-// draw samples one operation's latency from the disk's model.
+// draw samples one operation's latency from the disk's model, gray
+// slow-down included.
 func (d *Disk) draw() time.Duration {
 	d.rngMu.Lock()
 	dur := d.lat.draw(d.rng)
+	if d.grayOn {
+		dur += d.gray.Slow.draw(d.rng)
+	}
 	d.rngMu.Unlock()
 	return dur
 }
@@ -134,6 +148,9 @@ func (d *Disk) ReadBlock(name string) (seq, val uint64, err error) {
 		return 0, 0, ErrCrashed
 	}
 	b := d.blocks[name]
+	if b.hasPrev && d.grayStaleRead() {
+		return b.prevSeq, b.prevVal, nil
+	}
 	return b.seq, b.val, nil
 }
 
@@ -158,8 +175,11 @@ func (d *Disk) WriteBlock(name string, seq, val uint64) error {
 	if d.crashed {
 		return ErrCrashed
 	}
+	if d.grayDropWrite() {
+		return nil // gray fault: acknowledged but never persisted
+	}
 	if b, ok := d.blocks[name]; !ok || seq > b.seq {
-		d.blocks[name] = block{seq: seq, val: val}
+		d.blocks[name] = block{seq: seq, val: val, prevSeq: b.seq, prevVal: b.val, hasPrev: ok}
 	}
 	return nil
 }

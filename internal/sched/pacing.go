@@ -208,6 +208,29 @@ func (c Clamp) Next(rng *rand.Rand, now vclock.Time) vclock.Duration {
 	return d
 }
 
+// Brownout multiplies another pacing's delays by Factor inside the
+// window [From, To) — a process (or a whole cluster, when every machine
+// wears one) running through a finite slow spell: steps still happen, just
+// Factor times further apart. Outside the window the inner pacing passes
+// through untouched, so a Brownout wrapped outside a Clamp preserves the
+// eventual AWB1 bound once the window closes.
+type Brownout struct {
+	P        Pacing
+	From, To vclock.Time
+	Factor   vclock.Duration
+}
+
+var _ Pacing = Brownout{}
+
+// Next implements Pacing.
+func (b Brownout) Next(rng *rand.Rand, now vclock.Time) vclock.Duration {
+	d := b.P.Next(rng, now)
+	if now >= b.From && now < b.To && b.Factor > 1 {
+		d *= b.Factor
+	}
+	return d
+}
+
 // OwnRng wraps a pacing with its own random source, making the process's
 // delay sequence a pure function of its own seed: the k-th delay is the
 // k-th draw regardless of how runs interleave. Experiments that compare a

@@ -1,0 +1,140 @@
+package shmem
+
+import (
+	"math/rand"
+
+	"omegasm/internal/vclock"
+)
+
+// FaultConfig tunes the gray-failure read anomalies a FaultMem injects.
+// All probabilities are per read; everything draws from one seeded rng so
+// runs stay deterministic.
+type FaultConfig struct {
+	// StaleReadP is the probability that a read landing within
+	// StaleWindow ticks of the register's last write observes the
+	// previous value instead of the current one. This degrades the
+	// register from atomic to regular: a read concurrent-ish with a
+	// write may return either the old or the new value, never a third.
+	StaleReadP float64
+	// StaleWindow bounds, in virtual ticks after a write, how long reads
+	// of that register may still observe the overwritten value.
+	StaleWindow int64
+	// PartialViewP is the probability that a read freezes the reader's
+	// view of the register: for the next PartialViewLen ticks that
+	// process re-reads the frozen value while writes keep landing
+	// underneath — partial census visibility, the gray-failure analogue
+	// of a process whose SAN path serves cached blocks.
+	PartialViewP float64
+	// PartialViewLen is the freeze duration in virtual ticks.
+	PartialViewLen int64
+	// Classes restricts injection to the named register classes; nil
+	// injects everywhere. Restricting to the election classes keeps the
+	// consensus registers atomic, so a checker hit is a real algorithm
+	// weakness rather than a broken Paxos substrate.
+	Classes map[string]bool
+}
+
+// FaultMem wraps an inner Mem and injects deterministic read anomalies on
+// the registers of the configured classes. Writes always reach the inner
+// register unchanged — faults here are observation faults (staleness,
+// frozen views), matching gray failures where the store is healthy but
+// some readers see the past. It is single-goroutine only, like SimMem.
+type FaultMem struct {
+	inner Mem
+	cfg   FaultConfig
+	now   func() vclock.Time
+	rng   *rand.Rand
+}
+
+var _ Mem = (*FaultMem)(nil)
+var _ Discarder = (*FaultMem)(nil)
+
+// NewFaultMem wraps inner with the fault injector. now supplies the
+// current virtual time (the sim engine's clock) and rng is the run's
+// seeded randomness source; both must come from the deterministic run.
+func NewFaultMem(inner Mem, cfg FaultConfig, now func() vclock.Time, rng *rand.Rand) *FaultMem {
+	return &FaultMem{inner: inner, cfg: cfg, now: now, rng: rng}
+}
+
+// Word allocates a register through the inner memory and, when its class
+// is eligible, wraps it with the fault injector.
+func (m *FaultMem) Word(owner int, class string, idx ...int) Reg {
+	r := m.inner.Word(owner, class, idx...)
+	if m.cfg.Classes != nil && !m.cfg.Classes[class] {
+		return r
+	}
+	return &faultReg{inner: r, m: m, frozen: make(map[int]frozenView), lastWriteAt: -1}
+}
+
+// Census returns the inner memory's census (fault reads still attribute
+// their access there, so censuses stay exact).
+func (m *FaultMem) Census() *Census { return m.inner.Census() }
+
+// Discard unwraps the register and forwards to the inner memory when it
+// supports reclamation.
+func (m *FaultMem) Discard(reg Reg) {
+	if fr, ok := reg.(*faultReg); ok {
+		reg = fr.inner
+	}
+	DiscardIfPossible(m.inner, reg)
+}
+
+// frozenView is one reader's stuck observation of a register.
+type frozenView struct {
+	val   uint64
+	until vclock.Time
+}
+
+// faultReg shadows the inner register's current and previous values so it
+// can serve regular-but-stale reads and per-reader frozen views without
+// touching the inner word.
+type faultReg struct {
+	inner       Reg
+	m           *FaultMem
+	cur, prev   uint64
+	lastWriteAt vclock.Time // -1: never written
+	frozen      map[int]frozenView
+}
+
+var _ Reg = (*faultReg)(nil)
+var _ Seeder = (*faultReg)(nil)
+
+func (r *faultReg) Read(pid int) uint64 {
+	v := r.inner.Read(pid) // census attribution first, always
+	now := r.m.now()
+	if fv, ok := r.frozen[pid]; ok {
+		if now < fv.until {
+			return fv.val
+		}
+		delete(r.frozen, pid)
+	}
+	cfg := &r.m.cfg
+	if cfg.PartialViewP > 0 && cfg.PartialViewLen > 0 && r.m.rng.Float64() < cfg.PartialViewP {
+		r.frozen[pid] = frozenView{val: v, until: now + vclock.Time(cfg.PartialViewLen)}
+		return v
+	}
+	if cfg.StaleReadP > 0 && r.lastWriteAt >= 0 &&
+		now-r.lastWriteAt <= vclock.Time(cfg.StaleWindow) &&
+		r.m.rng.Float64() < cfg.StaleReadP {
+		return r.prev
+	}
+	return v
+}
+
+func (r *faultReg) Write(pid int, v uint64) {
+	r.prev = r.cur
+	r.cur = v
+	r.lastWriteAt = r.m.now()
+	r.inner.Write(pid, v)
+}
+
+func (r *faultReg) Owner() int   { return r.inner.Owner() }
+func (r *faultReg) Name() string { return r.inner.Name() }
+
+// Seed forwards an arbitrary initial value to the inner register and
+// resets the shadow so stale reads never resurrect a pre-seed zero.
+func (r *faultReg) Seed(v uint64) {
+	r.cur = v
+	r.prev = v
+	SeedIfPossible(r.inner, v)
+}

@@ -1,0 +1,143 @@
+package shmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"omegasm/internal/vclock"
+)
+
+func TestFaultMemStaleReads(t *testing.T) {
+	var now vclock.Time
+	fm := NewFaultMem(NewSimMem(2), FaultConfig{
+		StaleReadP:  1.0,
+		StaleWindow: 10,
+	}, func() vclock.Time { return now }, rand.New(rand.NewSource(1)))
+	r := fm.Word(0, "HB", 0)
+	r.Write(0, 5)
+	now = 3
+	r.Write(0, 7)
+	// Within the window every read observes the overwritten value.
+	now = 8
+	if got := r.Read(1); got != 5 {
+		t.Fatalf("in-window read = %d, want stale 5", got)
+	}
+	// Past the window the fault disarms and reads are exact again.
+	now = 14
+	if got := r.Read(1); got != 7 {
+		t.Fatalf("post-window read = %d, want 7", got)
+	}
+}
+
+func TestFaultMemStaleNeverInventsValues(t *testing.T) {
+	// Regularity: any read returns either the current or the previous
+	// value, never anything else — across many writes and probabilities.
+	var now vclock.Time
+	fm := NewFaultMem(NewSimMem(2), FaultConfig{
+		StaleReadP:  0.5,
+		StaleWindow: 4,
+	}, func() vclock.Time { return now }, rand.New(rand.NewSource(2)))
+	r := fm.Word(0, "HB", 0)
+	prev := uint64(0)
+	for i := uint64(1); i <= 200; i++ {
+		r.Write(0, i)
+		now++
+		if got := r.Read(1); got != i && got != prev {
+			t.Fatalf("read %d after writing %d (prev %d): not regular", got, i, prev)
+		}
+		prev = i
+		now += 2
+	}
+}
+
+func TestFaultMemPartialView(t *testing.T) {
+	var now vclock.Time
+	fm := NewFaultMem(NewSimMem(2), FaultConfig{
+		PartialViewP:   1.0,
+		PartialViewLen: 100,
+	}, func() vclock.Time { return now }, rand.New(rand.NewSource(3)))
+	r := fm.Word(0, "PROGRESS", 0)
+	r.Write(0, 1)
+	if got := r.Read(1); got != 1 {
+		t.Fatalf("first read = %d", got)
+	}
+	// Writes keep landing but reader 1's view is frozen for 100 ticks.
+	now = 50
+	r.Write(0, 2)
+	if got := r.Read(1); got != 1 {
+		t.Fatalf("frozen read = %d, want 1", got)
+	}
+	// A different reader is independent (it freezes onto the live value).
+	if got := r.Read(0); got != 2 {
+		t.Fatalf("other reader = %d, want 2", got)
+	}
+	// Past the freeze the view thaws (and may re-freeze on the new value).
+	now = 200
+	if got := r.Read(1); got != 2 {
+		t.Fatalf("thawed read = %d, want 2", got)
+	}
+}
+
+func TestFaultMemClassFilterAndWritesExact(t *testing.T) {
+	var now vclock.Time
+	fm := NewFaultMem(NewSimMem(2), FaultConfig{
+		StaleReadP:  1.0,
+		StaleWindow: 1 << 30,
+		Classes:     map[string]bool{"HB": true},
+	}, func() vclock.Time { return now }, rand.New(rand.NewSource(4)))
+	// A class outside the filter gets the raw register: no staleness.
+	log := fm.Word(0, "LOG", 0)
+	log.Write(0, 1)
+	log.Write(0, 2)
+	if got := log.Read(1); got != 2 {
+		t.Fatalf("filtered-class read = %d, want exact 2", got)
+	}
+	// Writes always reach the inner word even on faulted classes: the
+	// owner's own census and any later unfaulted path see the truth.
+	hb := fm.Word(0, "HB", 0)
+	hb.Write(0, 9)
+	if c := fm.Census(); c == nil {
+		t.Fatal("census lost through the wrapper")
+	}
+}
+
+func TestFaultMemSeedResetsShadow(t *testing.T) {
+	var now vclock.Time
+	fm := NewFaultMem(NewSimMem(2), FaultConfig{
+		StaleReadP:  1.0,
+		StaleWindow: 1 << 30,
+	}, func() vclock.Time { return now }, rand.New(rand.NewSource(5)))
+	r := fm.Word(0, "HB", 0)
+	SeedIfPossible(r, 42)
+	r.Write(0, 43)
+	// The stale value after a seed is the seed, never a phantom zero.
+	if got := r.Read(1); got != 42 {
+		t.Fatalf("post-seed stale read = %d, want 42", got)
+	}
+}
+
+func TestFaultMemDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		var now vclock.Time
+		fm := NewFaultMem(NewSimMem(2), FaultConfig{
+			StaleReadP:     0.3,
+			StaleWindow:    8,
+			PartialViewP:   0.1,
+			PartialViewLen: 20,
+		}, func() vclock.Time { return now }, rand.New(rand.NewSource(7)))
+		r := fm.Word(0, "HB", 0)
+		var out []uint64
+		for i := uint64(1); i <= 100; i++ {
+			r.Write(0, i)
+			now += 3
+			out = append(out, r.Read(1))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("read %d differs across identical runs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

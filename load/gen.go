@@ -57,7 +57,7 @@ func (s *Spec) Schedule() ([]Request, error) {
 			}
 			read := rng.Float64() < s.ReadFraction
 			val++
-			reqs = append(reqs, Request{At: at, Key: key, Val: val, Read: read, Class: class})
+			reqs = append(reqs, Request{At: at, Key: key, Val: val, Read: read, Class: class, Client: client})
 		}
 	}
 	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].At < reqs[j].At })

@@ -62,11 +62,12 @@ func RunSim(spec *Spec, opt SimOptions) (Report, error) {
 	reqs := make([]omegasm.SimRequest, len(schedule))
 	for i, r := range schedule {
 		reqs[i] = omegasm.SimRequest{
-			At:    int64(r.At / TickDuration),
-			Key:   r.Key,
-			Val:   r.Val,
-			Read:  r.Read,
-			Class: r.Class,
+			At:     int64(r.At / TickDuration),
+			Key:    r.Key,
+			Val:    r.Val,
+			Read:   r.Read,
+			Class:  r.Class,
+			Client: r.Client,
 		}
 	}
 	res, err := omegasm.SimShardedKV(omegasm.SimShardedKVConfig{

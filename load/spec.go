@@ -95,6 +95,9 @@ type Request struct {
 	Read bool
 	// Class indexes Spec.Classes.
 	Class int
+	// Client identifies the issuing client (0..Spec.Clients-1). The
+	// simulator's session checks (monotone reads per client) key on it.
+	Client int
 }
 
 // Validate reports the first problem with the spec, or nil.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"omegasm/check"
 	"omegasm/internal/consensus"
 	"omegasm/internal/core"
 	"omegasm/internal/engine"
@@ -50,6 +51,10 @@ type SimRequest struct {
 	// Class is an opaque workload-class tag echoed into the result (the
 	// load harness keys SLO classes on it).
 	Class int
+	// Client identifies the issuing client for the recorded history's
+	// per-client guarantees (monotone reads); requests of one client must
+	// not overlap in time for program order to be meaningful.
+	Client int
 }
 
 // SimRequestResult is the reproducible outcome of one SimRequest.
@@ -117,6 +122,20 @@ type SimKVConfig struct {
 	// checkpointing (the descriptor row carries the catch-up barriers);
 	// zero leaves leases off, the prior behavior.
 	Lease int64
+	// Record turns on the scenario recorder: the run assembles a full
+	// check.History — per-operation invocation/response events, the
+	// committed stream as individually applied by every replica, the
+	// final applied state, the lease-grant history — into the result's
+	// History, ready for check.Verify. Off by default (recording costs a
+	// map insert per applied command).
+	Record bool
+	// Faults configures the gray-failure fault models (stale election
+	// registers, partial census visibility, timer skew, brownouts); nil
+	// injects nothing.
+	Faults *SimFaults
+	// Mutation seeds a deliberate correctness bug (checker non-vacuity
+	// proof); MutNone runs the real stack.
+	Mutation SimMutation
 }
 
 // SimKVResult is the outcome of a simulated run. For a fixed SimKVConfig
@@ -173,8 +192,31 @@ type SimKVResult struct {
 	// deterministic for a fixed config. A correct implementation always
 	// leaves it empty; the seeded crash campaigns assert exactly that.
 	LeaseViolations []string
+	// History is the recorded check.History of a Record run, nil
+	// otherwise. Pass it to check.Verify (or call Verify) for the full
+	// linearizability/durability verdict.
+	History *check.History
+	// LeaderChanges counts agreed-leader changes the watcher observed
+	// after the first election settled — the leader-churn anomaly metric
+	// the campaign scorer ranks runs by.
+	LeaderChanges int
+	// CommitStallMax is the longest gap in virtual ticks between
+	// consecutive newly learned commit positions on a Record run (plus
+	// the tail gap to the horizon if writes were still undelivered);
+	// 0 when not recording or nothing committed.
+	CommitStallMax int64
 	// End is the virtual time at which the run ended.
 	End int64
+}
+
+// Verify runs the correctness checker over the run's recorded history.
+// The run must have been executed with SimKVConfig.Record set; verdicts
+// on unrecorded runs carry a single violation saying so.
+func (r *SimKVResult) Verify(opt check.Options) check.Verdict {
+	if r.History == nil {
+		return check.Verdict{Violations: []string{"run was not recorded: set SimKVConfig.Record"}}
+	}
+	return check.Verify(r.History, opt)
 }
 
 // SimLeaseGrant is one recorded lease acquisition of a leased simulated
@@ -217,6 +259,9 @@ func (cfg *SimKVConfig) normalize() (simShardConfig, error) {
 		crashes:   cfg.Crashes,
 		writes:    cfg.Writes,
 		lease:     cfg.Lease,
+		record:    cfg.Record,
+		faults:    cfg.Faults,
+		mutation:  cfg.Mutation,
 	}
 	for i, r := range cfg.Requests {
 		shard.requests = append(shard.requests, simIndexedRequest{req: r, index: i})
@@ -257,6 +302,12 @@ type simShardConfig struct {
 	// lease, when positive, is the leader-lease duration in ticks
 	// (authority-gated proposing plus the lease-read monitor).
 	lease int64
+	// record turns on the scenario recorder (SimKVConfig.Record).
+	record bool
+	// faults configures the gray-failure models; nil injects nothing.
+	faults *SimFaults
+	// mutation seeds a deliberate correctness bug (MutNone: none).
+	mutation SimMutation
 }
 
 // simIndexedRequest pairs an open-loop request with its position in the
@@ -335,6 +386,12 @@ func (c *simShardConfig) validate() error {
 	if c.lease > 0 && c.ckptEvery == 0 && c.batch <= 1 {
 		return fmt.Errorf("omegasm: leases need a log that reserves the descriptor row (enable checkpointing or batching)")
 	}
+	if err := c.faults.validate(); err != nil {
+		return err
+	}
+	if !c.mutation.valid() {
+		return fmt.Errorf("omegasm: unknown mutation %d", c.mutation)
+	}
 	return nil
 }
 
@@ -347,11 +404,52 @@ type simRun struct {
 	ids     []int // replica machine ids, for wake notifications
 	writer  *simWriter
 	open    *simOpenLoad
+	watcher *simWatcher
 
 	// Lease machinery of a leased run (cfg.lease > 0), nil otherwise.
 	lease    *lease.Register
 	leaseDur int64
 	monitor  *simLeaseMonitor
+
+	// rec is the scenario recorder of a recorded run, nil otherwise.
+	rec *simHistoryRecorder
+	// mutation is the run's seeded correctness bug (MutNone: none).
+	mutation SimMutation
+}
+
+// simHistoryRecorder merges every replica's apply observations into one
+// view of the committed stream: position -> command, with divergence
+// detection (two replicas individually applying different commands at
+// one position would be a consensus safety break) and commit-stall
+// tracking for the campaign's anomaly score.
+type simHistoryRecorder struct {
+	// order maps a committed-stream position to the command every
+	// observing replica applied there.
+	order map[int]uint32
+	// divergences records cross-replica disagreements (capped; a correct
+	// stack never produces any).
+	divergences []string
+	// lastCommitAt and maxStall track the largest gap between
+	// consecutive newly learned positions.
+	lastCommitAt vclock.Time
+	maxStall     int64
+}
+
+// note records replica-observed command cmd at stream position pos.
+func (rec *simHistoryRecorder) note(pos int, cmd uint32, now vclock.Time) {
+	if prev, ok := rec.order[pos]; ok {
+		if prev != cmd && len(rec.divergences) < 8 {
+			rec.divergences = append(rec.divergences, fmt.Sprintf(
+				"t=%d: replicas applied different commands at position %d (%#x vs %#x) — committed streams diverged",
+				now, pos, prev, cmd))
+		}
+		return
+	}
+	rec.order[pos] = cmd
+	if stall := int64(now - rec.lastCommitAt); stall > rec.maxStall {
+		rec.maxStall = stall
+	}
+	rec.lastCommitAt = now
 }
 
 // live reports whether process p is scheduled to be alive at time now.
@@ -427,7 +525,14 @@ func (m *simReplicaMachine) Step(now vclock.Time) engine.Hint {
 			// Expired or never held: (re)acquire under a fresh epoch. The
 			// fence snapshot is taken before this step's proposing, so the
 			// barrier provably covers every prior authority's commits.
-			if epoch, ok := r.lease.Acquire(m.idx, now, r.leaseDur, 0); ok {
+			// MutPrematureLeaseExtend runs the acquire guard with a negative
+			// skew bound, admitting a new grant while the previous one is
+			// still valid — the seeded bug the lease checker must catch.
+			eps := int64(0)
+			if r.mutation == MutPrematureLeaseExtend {
+				eps = -2 * r.leaseDur
+			}
+			if epoch, ok := r.lease.Acquire(m.idx, now, r.leaseDur, eps); ok {
 				holder = true
 				m.acqEpoch = epoch
 				m.acqGen = kv.FenceGen()
@@ -464,6 +569,9 @@ func (m *simReplicaMachine) Step(now vclock.Time) engine.Hint {
 type simWatcher struct {
 	r          *simRun
 	lastLeader int
+	// changes counts agreed-leader changes after the first settlement
+	// (the campaign's leader-churn metric).
+	changes int
 }
 
 func (w *simWatcher) Step(now vclock.Time) engine.Hint {
@@ -472,6 +580,9 @@ func (w *simWatcher) Step(now vclock.Time) engine.Hint {
 			if i != l {
 				st.DropPending()
 			}
+		}
+		if w.lastLeader != -1 {
+			w.changes++
 		}
 		w.lastLeader = l
 		// Wake every replica, as the live watcher does: the new leader may
@@ -545,6 +656,7 @@ type simActiveWrite struct {
 	submittedTo int
 	submitGen   uint64
 	done        bool
+	doneAt      vclock.Time // confirmation time (valid when done)
 }
 
 // simWriter is the deterministic Put loop: it activates writes at their
@@ -568,6 +680,7 @@ func (w *simWriter) Step(now vclock.Time) engine.Hint {
 		for i, kv := range w.r.kvs {
 			if w.r.live(i, now) && kv.CommittedContainsAfter(aw.marks[i], aw.cmd) {
 				aw.done = true
+				aw.doneAt = now
 				w.delivered++
 				break
 			}
@@ -597,6 +710,14 @@ func (w *simWriter) Step(now vclock.Time) engine.Hint {
 				if err := w.r.kvs[l].Set(aw.write.Key, aw.write.Val); err == nil {
 					aw.submittedTo, aw.submitGen = l, gen
 					w.r.sim.Notify(w.r.ids[l])
+					// MutDropQuorumAck: acknowledge at submission instead of
+					// commit confirmation. A leader crash between here and the
+					// commit loses an acknowledged write.
+					if w.r.mutation == MutDropQuorumAck {
+						aw.done = true
+						aw.doneAt = now
+						w.delivered++
+					}
 				}
 			}
 		}
@@ -630,6 +751,10 @@ type simOpenRequest struct {
 	submitGen   uint64
 	done        bool
 	doneAt      vclock.Time
+	// gotVal/gotOK is a read's observed answer (valid when done), kept
+	// for the recorded history.
+	gotVal uint16
+	gotOK  bool
 }
 
 // simOpenLoad is the open-loop arrival machine of the load harness:
@@ -655,11 +780,13 @@ func (w *simOpenLoad) Step(now vclock.Time) engine.Hint {
 	// cannot match a historical commit.
 	live := w.active[:0]
 	for _, ar := range w.active {
-		for i, kv := range w.r.kvs {
-			if w.r.live(i, now) && kv.CommittedContainsAfter(ar.marks[i], ar.cmd) {
-				ar.done = true
-				ar.doneAt = now
-				break
+		if !ar.done {
+			for i, kv := range w.r.kvs {
+				if w.r.live(i, now) && kv.CommittedContainsAfter(ar.marks[i], ar.cmd) {
+					ar.done = true
+					ar.doneAt = now
+					break
+				}
 			}
 		}
 		if !ar.done {
@@ -681,7 +808,7 @@ func (w *simOpenLoad) Step(now vclock.Time) engine.Hint {
 				}
 			}
 			if freshest >= 0 {
-				w.r.kvs[freshest].Get(ar.req.Key)
+				ar.gotVal, ar.gotOK = w.r.kvs[freshest].Get(ar.req.Key)
 			}
 			ar.done = true
 			ar.doneAt = now
@@ -700,10 +827,18 @@ func (w *simOpenLoad) Step(now vclock.Time) engine.Hint {
 		for _, ar := range w.active {
 			// Submit once per reign: resubmit on a leader change, and when
 			// a flap swept the leader's queue since the submit.
+			if ar.done {
+				continue
+			}
 			if ar.submittedTo != l || ar.submitGen != gen {
 				if err := w.r.kvs[l].Set(ar.req.Key, ar.req.Val); err == nil {
 					ar.submittedTo, ar.submitGen = l, gen
 					notify = true
+					// MutDropQuorumAck: see simWriter — ack at submission.
+					if w.r.mutation == MutDropQuorumAck {
+						ar.done = true
+						ar.doneAt = now
+					}
 				}
 			}
 		}
@@ -760,6 +895,34 @@ func (w *simLoadWriter) Step(now vclock.Time) engine.Hint {
 	return engine.At(now + 4)
 }
 
+// simElectionClasses names the register classes eligible for fault
+// injection: the election layer's families, never the consensus log's.
+func simElectionClasses() map[string]bool {
+	return map[string]bool{
+		core.ClassSuspicions: true,
+		core.ClassProgress:   true,
+		core.ClassStop:       true,
+		core.ClassLast:       true,
+		core.ClassNSusp:      true,
+		core.ClassHB:         true,
+		core.ClassSSusp:      true,
+	}
+}
+
+// simBrownout wraps a pacing with the configured brownout window, or
+// returns it unchanged when none is configured.
+func simBrownout(f *SimFaults, p engine.Pacing) engine.Pacing {
+	if !f.brownout() {
+		return p
+	}
+	return sched.Brownout{
+		P:      p,
+		From:   vclock.Time(f.BrownoutFrom),
+		To:     vclock.Time(f.BrownoutTo),
+		Factor: vclock.Duration(f.BrownoutFactor),
+	}
+}
+
 // addSimShard builds one shard's full stack — election processes,
 // replicas over a (possibly batched) log, leadership watcher, workload
 // writers — and registers every machine on sim. Machines are added in a
@@ -767,24 +930,39 @@ func (w *simLoadWriter) Step(now vclock.Time) engine.Hint {
 func addSimShard(sim *engine.Sim, cfg simShardConfig) (*simRun, error) {
 	n := cfg.n
 	mem := shmem.NewSimMem(n)
-	run := &simRun{sim: sim, crashes: cfg.crashes}
+	run := &simRun{sim: sim, crashes: cfg.crashes, mutation: cfg.mutation}
+
+	// The election build sees the (possibly) faulted view of the shared
+	// memory; the consensus log below always gets the raw atomic memory,
+	// so register faults probe the election algorithms' regular-register
+	// tolerance without breaking the Paxos substrate's assumptions.
+	var electionMem shmem.Mem = mem
+	if cfg.faults.registerFaults() {
+		electionMem = shmem.NewFaultMem(mem, shmem.FaultConfig{
+			StaleReadP:     cfg.faults.StaleReadP,
+			StaleWindow:    cfg.faults.StaleWindow,
+			PartialViewP:   cfg.faults.PartialViewP,
+			PartialViewLen: cfg.faults.PartialViewLen,
+			Classes:        simElectionClasses(),
+		}, sim.Now, sim.Rng())
+	}
 
 	run.procs = make([]core.Proc, n)
 	switch cfg.algorithm {
 	case WriteEfficient:
-		for i, p := range core.BuildAlgo1(mem, n) {
+		for i, p := range core.BuildAlgo1(electionMem, n) {
 			run.procs[i] = p
 		}
 	case Bounded:
-		for i, p := range core.BuildAlgo2(mem, n) {
+		for i, p := range core.BuildAlgo2(electionMem, n) {
 			run.procs[i] = p
 		}
 	case NWnR:
-		for i, p := range core.BuildNWNR(mem, n) {
+		for i, p := range core.BuildNWNR(electionMem, n) {
 			run.procs[i] = p
 		}
 	case TimerFree:
-		for i, p := range core.BuildTimerFree(mem, n) {
+		for i, p := range core.BuildTimerFree(electionMem, n) {
 			run.procs[i] = p
 		}
 	}
@@ -809,9 +987,18 @@ func addSimShard(sim *engine.Sim, cfg simShardConfig) (*simRun, error) {
 		if p == awb {
 			pacing = sched.Clamp{P: pacing, Delta: 8}
 		}
+		// The brownout wraps outside the AWB1 clamp: inside the window
+		// even the designated process slows, but the window is finite, so
+		// the eventual bound survives. Skew draws happen in Add order, so
+		// the per-process assignment is a pure function of the seed.
+		pacing = simBrownout(cfg.faults, pacing)
+		scale := vclock.Duration(4)
+		if f := cfg.faults; f != nil && f.TimerSkewMax > 0 {
+			scale += vclock.Duration(sim.Rng().Intn(f.TimerSkewMax + 1))
+		}
 		opts := []engine.SimOpt{
 			engine.WithPacing(pacing),
-			engine.WithTimer(vclock.Exact{Scale: 4, Floor: 1}, 1),
+			engine.WithTimer(vclock.Exact{Scale: scale, Floor: 1}, 1),
 		}
 		if ct, ok := cfg.crashes[p]; ok {
 			opts = append(opts, engine.WithCrashAt(ct))
@@ -848,15 +1035,25 @@ func addSimShard(sim *engine.Sim, cfg simShardConfig) (*simRun, error) {
 				return held
 			})
 		}
+		if cfg.record {
+			if run.rec == nil {
+				run.rec = &simHistoryRecorder{order: make(map[int]uint32)}
+			}
+			rec := run.rec
+			kv.SetApplyObserver(func(pos int, cmd uint32) {
+				rec.note(pos, cmd, sim.Now())
+			})
+		}
 		run.kvs = append(run.kvs, kv)
-		opts := []engine.SimOpt{engine.WithPacing(sched.Uniform{Min: 1, Max: 8})}
+		opts := []engine.SimOpt{engine.WithPacing(simBrownout(cfg.faults, sched.Uniform{Min: 1, Max: 8}))}
 		if ct, ok := cfg.crashes[i]; ok {
 			opts = append(opts, engine.WithCrashAt(ct))
 		}
 		run.ids = append(run.ids, sim.Add(&simReplicaMachine{r: run, idx: i}, opts...))
 	}
 
-	sim.Add(&simWatcher{r: run, lastLeader: -1}, engine.WithFirstWakeAt(16))
+	run.watcher = &simWatcher{r: run, lastLeader: -1}
+	sim.Add(run.watcher, engine.WithFirstWakeAt(16))
 	if run.lease != nil {
 		run.monitor = &simLeaseMonitor{r: run}
 		sim.Add(run.monitor, engine.WithFirstWakeAt(16))
@@ -903,37 +1100,25 @@ func (r *simRun) collect(end vclock.Time) *SimKVResult {
 	if r.writer != nil {
 		res.Delivered = r.writer.delivered
 	}
+	if r.watcher != nil {
+		res.LeaderChanges = r.watcher.changes
+	}
 	if r.lease != nil {
 		res.LeaseReads = r.monitor.reads
 		res.LeaseFallbacks = r.monitor.fallbacks
 		res.LeaseViolations = append(res.LeaseViolations, r.monitor.violations...)
-		hist := r.lease.History()
-		var prev lease.Grant
-		for i, g := range hist {
+		for _, g := range r.lease.History() {
 			res.LeaseGrants = append(res.LeaseGrants, SimLeaseGrant{
 				Epoch: g.Epoch, Holder: g.Holder,
 				AcquiredAt: int64(g.AcquiredAt), Expiry: int64(g.Expiry),
 				PrevExpiry: int64(g.PrevExpiry),
 			})
-			// The history audit: epochs strictly increase, and no grant's
-			// window opens before the previous one's (extension-included)
-			// expiry passed — two leases never overlap in time.
-			if i > 0 && g.Epoch != prev.Epoch+1 {
-				res.LeaseViolations = append(res.LeaseViolations, fmt.Sprintf(
-					"grant %d: epoch %d after %d, want +1", i, g.Epoch, prev.Epoch))
-			}
-			if g.AcquiredAt <= g.PrevExpiry {
-				res.LeaseViolations = append(res.LeaseViolations, fmt.Sprintf(
-					"grant %d: epoch %d (holder %d) acquired at %d inside the previous window (expiry %d) — leases overlap",
-					i, g.Epoch, g.Holder, g.AcquiredAt, g.PrevExpiry))
-			}
-			if i > 0 && g.PrevExpiry < prev.Expiry {
-				res.LeaseViolations = append(res.LeaseViolations, fmt.Sprintf(
-					"grant %d: observed previous expiry %d below the granted %d — expiry regressed",
-					i, g.PrevExpiry, prev.Expiry))
-			}
-			prev = g
 		}
+		// The history audit (epochs advance by one, windows never overlap,
+		// observed expiries never regress) is the checker's lease pass,
+		// run with eps 0: the deterministic engine has no clock skew.
+		res.LeaseViolations = append(res.LeaseViolations,
+			check.Leases(simCheckGrants(res.LeaseGrants), 0)...)
 	}
 	if r.open != nil {
 		for _, ar := range r.open.reqs {
@@ -975,7 +1160,88 @@ func (r *simRun) collect(end vclock.Time) *SimKVResult {
 		}
 		res.State = kv.Snapshot()
 	}
+	if r.rec != nil {
+		res.CommitStallMax = r.rec.maxStall
+		// The tail counts as a stall only when work was actually starved:
+		// a run whose writes all delivered is simply done.
+		if r.writer != nil && res.Delivered < len(r.writer.writes) {
+			if tail := int64(end - r.rec.lastCommitAt); tail > res.CommitStallMax {
+				res.CommitStallMax = tail
+			}
+		}
+		res.History = r.assembleHistory(res, freshest)
+	}
 	return res
+}
+
+// assembleHistory renders a recorded run as the checker's History: the
+// client operation events, the merged committed stream, the freshest
+// replica's final applied state, the lease grants, and the in-run
+// monitor's breaches (External — the grant audit is not duplicated
+// there, Verify re-derives it from Grants).
+func (r *simRun) assembleHistory(res *SimKVResult, freshest int) *check.History {
+	h := &check.History{}
+	if r.writer != nil {
+		for _, aw := range r.writer.active {
+			op := check.Op{Kind: check.Put, Key: aw.write.Key, Val: aw.write.Val, Invoke: aw.write.At, Return: -1}
+			if aw.done {
+				op.Return = int64(aw.doneAt)
+			}
+			h.Ops = append(h.Ops, op)
+		}
+	}
+	if r.open != nil {
+		for _, ar := range r.open.reqs {
+			op := check.Op{Client: ar.req.Client, Key: ar.req.Key, Invoke: ar.req.At, Return: -1}
+			if ar.req.Read {
+				op.Kind = check.Get
+				op.Mode = check.Freshest
+				if ar.done {
+					op.Return = int64(ar.doneAt)
+					op.Val = ar.gotVal
+					op.Found = ar.gotOK
+				}
+			} else {
+				op.Kind = check.Put
+				op.Val = ar.req.Val
+				if ar.done {
+					op.Return = int64(ar.doneAt)
+				}
+			}
+			h.Ops = append(h.Ops, op)
+		}
+	}
+	poss := make([]int, 0, len(r.rec.order))
+	for p := range r.rec.order {
+		poss = append(poss, p)
+	}
+	sort.Ints(poss)
+	for _, p := range poss {
+		k, v := consensus.DecodeSet(r.rec.order[p])
+		h.Commits = append(h.Commits, check.Commit{Pos: p, Key: k, Val: v})
+	}
+	if freshest >= 0 {
+		h.FinalApplied = r.kvs[freshest].Applied()
+		h.Final = res.State
+	}
+	h.Grants = simCheckGrants(res.LeaseGrants)
+	if r.monitor != nil {
+		h.External = append(h.External, r.monitor.violations...)
+	}
+	h.External = append(h.External, r.rec.divergences...)
+	return h
+}
+
+// simCheckGrants converts result grants to the checker's grant type.
+func simCheckGrants(gs []SimLeaseGrant) []check.Grant {
+	out := make([]check.Grant, 0, len(gs))
+	for _, g := range gs {
+		out = append(out, check.Grant{
+			Epoch: g.Epoch, Holder: g.Holder,
+			AcquiredAt: g.AcquiredAt, Expiry: g.Expiry, PrevExpiry: g.PrevExpiry,
+		})
+	}
+	return out
 }
 
 // SimKV executes one deterministic run of the full consensus/KV stack
@@ -1056,6 +1322,12 @@ type SimShardedKVConfig struct {
 	// leader — the saturation workload whose committed count measures
 	// shard capacity. Zero: no generated load.
 	SaturateWindow int
+	// Record turns on the scenario recorder per shard (each shard's
+	// result carries its own History); see SimKVConfig.Record.
+	Record bool
+	// Faults configures every shard's gray-failure fault models; nil
+	// injects nothing. See SimKVConfig.Faults.
+	Faults *SimFaults
 }
 
 // SimShardedKVResult is the reproducible outcome of a sharded simulated
@@ -1113,6 +1385,8 @@ func (cfg *SimShardedKVConfig) normalize() ([]simShardConfig, error) {
 			ckptEvery: resolveSimCkpt(cfg.CheckpointEvery, cfg.Slots, cfg.N),
 			crashes:   map[int]int64{},
 			window:    cfg.SaturateWindow,
+			record:    cfg.Record,
+			faults:    cfg.Faults,
 		}
 	}
 	for _, cr := range cfg.Crashes {
